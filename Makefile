@@ -1,0 +1,27 @@
+# Developer entry points. `make all` is the full reproduction run.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples verify all clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for s in examples/*.py; do echo "== $$s"; $(PYTHON) $$s || exit 1; done
+
+verify: test bench
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+all: install verify examples
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks examples/output
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,98 @@
+"""Shared experiment builders for the figure benchmarks.
+
+These encode "what the paper's user does" for each dataset — where they
+place key-frame transfer functions, how they seed trackers — so every
+bench (and EXPERIMENTS.md) uses one canonical protocol per figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AdaptiveTransferFunction
+from repro.data.argon import ring_value_band
+from repro.data.swirl import feature_peak_at
+from repro.transfer import TransferFunction1D
+
+
+def argon_keyframe_tf(sequence, time, width_factor: float = 2.5) -> TransferFunction1D:
+    """A tent over the argon ring's histogram peak at ``time``."""
+    lo, hi = ring_value_band(sequence, time)
+    center, width = (lo + hi) / 2, (hi - lo) * width_factor
+    return TransferFunction1D(sequence.value_range).add_tent(center, width, 1.0)
+
+
+def train_argon_iatf(sequence, key_times=(195, 255), seed=3, epochs=300,
+                     **iatf_kwargs) -> AdaptiveTransferFunction:
+    """Key-frame TFs + training, the Fig. 3/4 protocol."""
+    iatf = AdaptiveTransferFunction.for_sequence(sequence, seed=seed, **iatf_kwargs)
+    for t in key_times:
+        iatf.add_key_frame(sequence.at_time(t), argon_keyframe_tf(sequence, t))
+    iatf.train(epochs=epochs)
+    return iatf
+
+
+def combustion_core_band(sequence, time, plo: float = 40.0, phi: float = 99.5):
+    """Scalar band of the strong vortices in the combustion core sheet."""
+    vol = sequence.at_time(time)
+    vals = vol.data[vol.mask("core")]
+    return np.percentile(vals, [plo, phi])
+
+
+def combustion_keyframe_tf(sequence, time) -> TransferFunction1D:
+    """A box over the strong-vortex band — the Fig. 5 user TF."""
+    lo, hi = combustion_core_band(sequence, time)
+    return TransferFunction1D(sequence.value_range).add_box(max(lo, 1e-3), hi, 0.9)
+
+
+def combustion_truth(sequence, time) -> np.ndarray:
+    """Ground truth for Fig. 5: the strongly vortical half of the core."""
+    vol = sequence.at_time(time)
+    core = vol.mask("core")
+    median = np.median(vol.data[core])
+    return core & (vol.data > median)
+
+
+def train_combustion_iatf(sequence, key_times=(8, 64, 128), seed=3,
+                          epochs=300) -> AdaptiveTransferFunction:
+    iatf = AdaptiveTransferFunction.for_sequence(sequence, seed=seed)
+    for t in key_times:
+        iatf.add_key_frame(sequence.at_time(t), combustion_keyframe_tf(sequence, t))
+    iatf.train(epochs=epochs)
+    return iatf
+
+
+def swirl_keyframe_tf(sequence, time) -> TransferFunction1D:
+    """Fig. 10's user interaction: tracked value range scaled to the
+    feature's (decreasing) peak at the key frame."""
+    peak = feature_peak_at(sequence, time)
+    return TransferFunction1D(sequence.value_range).add_tent(0.75 * peak, 0.9 * peak, 1.0)
+
+
+def train_swirl_iatf(sequence, seed=3, epochs=300) -> AdaptiveTransferFunction:
+    iatf = AdaptiveTransferFunction.for_sequence(sequence, seed=seed)
+    for t in (sequence.times[0], sequence.times[-1]):
+        iatf.add_key_frame(sequence.at_time(t), swirl_keyframe_tf(sequence, t))
+    iatf.train(epochs=epochs)
+    return iatf
+
+
+def seed_on_mask(sequence, mask_name, step_index: int = 0, min_value=None):
+    """A 4D seed (step_index, z, y, x) on a ground-truth feature."""
+    vol = sequence[step_index]
+    mask = vol.mask(mask_name)
+    if min_value is not None:
+        mask = mask & (vol.data > min_value)
+    coords = np.argwhere(mask)
+    z, y, x = map(int, coords[len(coords) // 2])
+    return (step_index, z, y, x)
+
+
+def sample_mask(mask, n, seed=0):
+    """Random voxel subset of a mask (the oracle's painted samples)."""
+    rng = np.random.default_rng(seed)
+    coords = np.argwhere(mask)
+    sel = coords[rng.choice(len(coords), size=min(n, len(coords)), replace=False)]
+    out = np.zeros(mask.shape, dtype=bool)
+    out[tuple(sel.T)] = True
+    return out

@@ -1,0 +1,48 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each ``test_fig*.py`` module regenerates one of the paper's figures as a
+quantitative experiment (see DESIGN.md §3): the ``benchmark`` fixture
+times the figure's key operation, and the figure's comparison scores are
+recorded in ``benchmark.extra_info`` and printed, so
+``pytest benchmarks/ --benchmark-only`` reproduces both the performance
+numbers and the qualitative shape of every figure.
+
+Grids here are larger than the unit tests' (meaningful timings) but still
+laptop-scale; the Sec. 7 benchmark additionally reports a scaling estimate
+toward the paper's 256³ configuration.
+"""
+
+import pytest
+
+from repro.data import (
+    make_argon_sequence,
+    make_combustion_sequence,
+    make_cosmology_sequence,
+    make_swirl_sequence,
+    make_vortex_sequence,
+)
+
+
+@pytest.fixture(scope="session")
+def argon():
+    return make_argon_sequence(shape=(32, 44, 44), times=range(195, 256, 5), seed=7)
+
+
+@pytest.fixture(scope="session")
+def combustion():
+    return make_combustion_sequence(shape=(24, 72, 48), times=[8, 36, 64, 92, 128], seed=11)
+
+
+@pytest.fixture(scope="session")
+def cosmology():
+    return make_cosmology_sequence(shape=(40, 40, 40), times=[130, 250, 310], seed=23)
+
+
+@pytest.fixture(scope="session")
+def vortex():
+    return make_vortex_sequence(shape=(40, 40, 40), times=range(50, 75, 4), seed=31)
+
+
+@pytest.fixture(scope="session")
+def swirl():
+    return make_swirl_sequence(shape=(36, 36, 36), seed=43)

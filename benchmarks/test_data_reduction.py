@@ -1,0 +1,64 @@
+"""Data reduction — compression and compact feature representations.
+
+Two of the paper's data-reduction threads, quantified:
+
+- Sec. 7 (future work): *"fast data decompression … since one potential
+  bottleneck for large data sets is the need to transmit data between the
+  disk and the video memory"* — quantization+DEFLATE ratios and
+  decompression throughput on the synthetic flow fields;
+- Sec. 4 / ref. [22]: feature extraction as data reduction — octree
+  encodings of extracted/tracked feature masks vs raw voxel masks.
+"""
+
+import numpy as np
+
+from repro.data import make_argon_sequence, make_vortex_sequence
+from repro.segmentation.octree import OctreeMask
+from repro.utils.timing import Timer
+from repro.volume.compression import compress_volume
+
+
+def test_volume_compression(benchmark):
+    sequence = make_argon_sequence(shape=(48, 64, 64), times=[195, 225, 255], seed=7)
+    vol = sequence.at_time(225)
+
+    comp = compress_volume(vol, bits=8, delta=True)
+    decompressed = benchmark(comp.decompress)
+
+    err = float(np.abs(decompressed.data - vol.data).max())
+    with Timer() as t_comp:
+        compress_volume(vol, bits=8, delta=True)
+    mb = vol.data.nbytes / 1e6
+    decomp_mbps = mb / benchmark.stats["mean"]
+
+    print("\nVolume compression (argon step, 48x64x64 float32):")
+    print(f"  ratio {comp.compression_ratio:.1f}x "
+          f"({comp.raw_bytes} -> {comp.compressed_bytes} bytes)")
+    print(f"  max abs error {err:.4f} (bound {comp.max_abs_error:.4f})")
+    print(f"  compress {mb / t_comp.elapsed:.0f} MB/s, decompress {decomp_mbps:.0f} MB/s")
+    benchmark.extra_info["ratio"] = round(comp.compression_ratio, 2)
+    benchmark.extra_info["decompress_mbps"] = round(decomp_mbps, 1)
+
+    assert comp.compression_ratio > 4.0  # beats raw quantization alone
+    assert err <= comp.max_abs_error * 1.001 + 1e-6
+    assert decomp_mbps > 10.0  # decompression is not the new bottleneck
+
+
+def test_octree_feature_reduction(benchmark):
+    sequence = make_vortex_sequence(shape=(48, 48, 48), times=range(50, 75, 4), seed=31)
+    masks = [v.mask("vortex") for v in sequence]
+
+    encoded = benchmark(lambda: [OctreeMask.from_mask(m) for m in masks])
+
+    raw_bytes = sum(m.size for m in masks)  # 1 byte/voxel masks
+    enc_bytes = sum(o.encoded_bytes for o in encoded)
+    for oct_, mask in zip(encoded, masks):
+        assert np.array_equal(oct_.to_mask(), mask)  # lossless
+
+    print("\nOctree encoding of the tracked vortex (7 steps, 48^3):")
+    print(f"  raw mask bytes {raw_bytes}, octree bytes {enc_bytes} "
+          f"({raw_bytes / enc_bytes:.1f}x)")
+    print(f"  leaves per step: {[o.n_leaves for o in encoded]}")
+    benchmark.extra_info["reduction"] = round(raw_bytes / enc_bytes, 2)
+
+    assert raw_bytes / enc_bytes > 5.0  # the ref. [22] reduction pays off (vs float32 data it is ~4x more)

@@ -1,0 +1,49 @@
+"""Fig. 11 — the interactive painting interface loop.
+
+The figure shows the system's UI: paint a few samples on slices, train in
+the idle loop, inspect live per-slice / whole-volume feedback, refine.
+Headlessly, the scripted Oracle plays the scientist and we measure how
+classification quality grows with interaction rounds — the property that
+makes the interface usable ("the user can use this feedback to further
+revise the painting").
+
+The bench times one idle-loop training slice — the latency the user feels
+between interactions.
+"""
+
+from repro.core import DataSpaceClassifier, ShellFeatureExtractor, derive_shell_radius
+from repro.interface import InteractiveSession, Oracle
+from repro.metrics import classification_accuracy
+
+
+def test_fig11_interactive_session(cosmology, benchmark):
+    vol = cosmology.at_time(310)
+    radius = derive_shell_radius(vol.mask("large"))
+    classifier = DataSpaceClassifier(ShellFeatureExtractor(radius=radius), seed=2)
+    session = InteractiveSession(vol, classifier=classifier, idle_epochs=60)
+    oracle = Oracle("large", seed=11, brush_radius=1)
+
+    history = session.run_with_oracle(
+        oracle, rounds=4, strokes_per_round=10, truth_mask_name="large"
+    )
+
+    # the idle-loop latency with the accumulated training set
+    benchmark(session.idle_train)
+
+    print("\nFig. 11 interaction loop (accuracy vs rounds):")
+    print(f"{'round':>6} {'strokes':>8} {'samples':>8} {'loss':>8} {'accuracy':>9}")
+    for r in history:
+        print(f"{r.round_index:>6} {r.strokes_added:>8} {r.samples_added:>8} "
+              f"{r.training_loss:>8.4f} {r.accuracy:>9.3f}")
+
+    final_cert = session.preview_volume()
+    final_acc = classification_accuracy(final_cert, vol.mask("large"))
+    print(f"final whole-volume accuracy: {final_acc:.3f}")
+    benchmark.extra_info["final_accuracy"] = round(final_acc, 3)
+    benchmark.extra_info["rounds"] = len(history)
+
+    assert final_acc > 0.95
+    assert history[-1].accuracy >= history[0].accuracy - 0.02
+    # live slice feedback matches whole-volume classification
+    plane = session.preview_slice(0, vol.shape[0] // 2)
+    assert plane.shape == vol.shape[1:]

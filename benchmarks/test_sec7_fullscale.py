@@ -1,0 +1,69 @@
+"""Sec. 7 at the paper's actual scale — opt-in (REPRO_FULLSCALE=1).
+
+The default Sec. 7 benchmark measures at 64³ and extrapolates; this one
+runs the paper's real configuration — a 256³ volume, classification of all
+16.7M voxels, and one 512² shaded frame — so the extrapolation can be
+checked directly.  It costs a few minutes of CPU, hence the guard:
+
+    REPRO_FULLSCALE=1 pytest benchmarks/test_sec7_fullscale.py --benchmark-only
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from _helpers import argon_keyframe_tf, sample_mask, train_argon_iatf
+
+from repro.core import DataSpaceClassifier, ShellFeatureExtractor
+from repro.data import make_argon_sequence, make_cosmology_sequence
+from repro.render import Camera, render_volume
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_FULLSCALE") != "1",
+    reason="full-scale Sec. 7 run is opt-in: set REPRO_FULLSCALE=1",
+)
+
+
+def test_sec7_fullscale_classification(benchmark):
+    """Data-space classification of a 256³ volume (paper: 10 s)."""
+    sequence = make_cosmology_sequence(shape=(256, 256, 256), times=[130, 310],
+                                       seed=23, n_blobs=800)
+    clf = DataSpaceClassifier(ShellFeatureExtractor(radius=4), seed=5)
+    for i, t in enumerate((130, 310)):
+        vol = sequence.at_time(t)
+        large, small = vol.mask("large"), vol.mask("small")
+        clf.add_examples(
+            vol,
+            positive_mask=sample_mask(large, 200, seed=1 + i),
+            negative_mask=(sample_mask(small, 100, seed=2 + i)
+                           | sample_mask(~(large | small), 100, seed=3 + i)),
+        )
+    clf.train(epochs=200)
+    vol = sequence.at_time(310)
+    cert = benchmark.pedantic(lambda: clf.classify(vol), rounds=1, iterations=1)
+    assert cert.shape == (256, 256, 256)
+    print(f"\n256^3 classification: {benchmark.stats['mean']:.1f} s (paper: 10 s)")
+
+
+def test_sec7_fullscale_render(benchmark):
+    """One shaded 512² frame of a 256³ volume with per-frame IATF."""
+    sequence = make_argon_sequence(shape=(256, 256, 256), times=[195, 225, 255], seed=7)
+    iatf = train_argon_iatf(sequence, key_times=(195, 255))
+    vol = sequence.at_time(225)
+    camera = Camera(width=512, height=512)
+
+    def frame():
+        tf = iatf.generate(vol)
+        return render_volume(vol, tf, camera=camera, shading=True)
+
+    image = benchmark.pedantic(frame, rounds=1, iterations=1)
+    assert image.coverage() > 0.02
+    fps = 1.0 / benchmark.stats["mean"]
+    print(f"\n256^3 -> 512^2 shaded render with per-frame IATF: "
+          f"{fps:.3f} fps (paper GPU: 6 fps)")
+    # sanity: the ring is retained at full scale too
+    from repro.metrics import feature_retention
+
+    tf = iatf.generate(vol)
+    assert feature_retention(tf.opacity_at(vol.data), vol.mask("ring")) > 0.8

@@ -1,0 +1,78 @@
+"""Tracking-method crossover — 4D region growing vs prediction–verification.
+
+Sec. 5 states the paper's tracking assumption explicitly: *"there is
+sufficient temporal samplings for the matching features to overlap in 3D
+space for consecutive time steps"*, and Sec. 2 cites Reinders et al.'s
+prediction–verification scheme as the attribute-based alternative.  This
+benchmark maps out where each method works by coarsening the temporal
+sampling of the vortex sequence until consecutive occurrences no longer
+overlap:
+
+- dense sampling → both methods track (region growing additionally handles
+  the split natively);
+- coarse sampling → overlap breaks, 4D region growing loses the feature,
+  prediction–verification keeps it.
+"""
+
+import numpy as np
+
+from repro.data import make_vortex_sequence
+from repro.segmentation.prediction import PredictionVerificationTracker
+from repro.segmentation.regiongrow import grow_4d
+
+SHAPE = (36, 36, 36)
+SAMPLINGS = {"dense (Δt=4)": range(50, 75, 4), "medium (Δt=8)": [50, 58, 66, 74],
+             "coarse (Δt=12)": [50, 62, 74]}
+
+
+def run_case(times):
+    seq = make_vortex_sequence(shape=SHAPE, times=times, seed=31)
+    criteria = np.stack([v.data > 0.5 for v in seq])
+    coords = np.argwhere(seq[0].mask("vortex"))
+    seed = tuple(int(c) for c in coords[len(coords) // 2])
+
+    min_overlap = min(
+        int((seq[i].mask("vortex") & seq[i + 1].mask("vortex")).sum())
+        for i in range(len(seq) - 1)
+    )
+    grown = grow_4d(criteria, [(0, *seed)])
+    rg_steps = int(sum(1 for s in range(len(seq)) if grown[s].any()))
+    pv = PredictionVerificationTracker(max_distance=16.0).track(seq, criteria, seed)
+    return dict(
+        steps=len(seq), min_overlap=min_overlap,
+        region_growing=rg_steps, prediction_verification=pv.steps_tracked,
+    )
+
+
+def test_tracking_methods_crossover(benchmark):
+    results = {name: run_case(times) for name, times in SAMPLINGS.items()}
+
+    # the timed kernel: both trackers on the dense case
+    def both():
+        seq = make_vortex_sequence(shape=SHAPE, times=SAMPLINGS["dense (Δt=4)"], seed=31)
+        criteria = np.stack([v.data > 0.5 for v in seq])
+        coords = np.argwhere(seq[0].mask("vortex"))
+        seed = tuple(int(c) for c in coords[len(coords) // 2])
+        grow_4d(criteria, [(0, *seed)])
+        PredictionVerificationTracker(max_distance=16.0).track(seq, criteria, seed)
+
+    benchmark.pedantic(both, rounds=3, iterations=1)
+
+    print("\nTracking-method crossover (steps tracked / total):")
+    print(f"{'sampling':<16} {'min overlap':>12} {'region-grow':>12} {'pred-verify':>12}")
+    for name, r in results.items():
+        print(f"{name:<16} {r['min_overlap']:>12} "
+              f"{r['region_growing']}/{r['steps']:>9} "
+              f"{r['prediction_verification']}/{r['steps']:>9}")
+        benchmark.extra_info[name] = r
+
+    dense = results["dense (Δt=4)"]
+    coarse = results["coarse (Δt=12)"]
+    # dense: the overlap assumption holds and both methods track fully
+    assert dense["min_overlap"] > 0
+    assert dense["region_growing"] == dense["steps"]
+    assert dense["prediction_verification"] == dense["steps"]
+    # coarse: overlap broken -> region growing fails, prediction survives
+    assert coarse["min_overlap"] == 0
+    assert coarse["region_growing"] < coarse["steps"]
+    assert coarse["prediction_verification"] == coarse["steps"]

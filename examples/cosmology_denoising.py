@@ -1,0 +1,111 @@
+"""Interactive data-space denoising of a cosmology dataset (paper Figs. 7/8).
+
+A scientist studying large-scale structures is distracted by hundreds of
+tiny same-valued features.  No 1D transfer function can remove them, and
+blurring destroys the large structures' fine detail.  The paper's answer:
+paint a few examples on slices, let a per-voxel classifier with
+shell-neighborhood features learn the size distinction, and refine
+interactively.
+
+This script drives the full Sec. 6 loop headlessly with a scripted
+"scientist" (the Oracle) and compares four methods on ground truth:
+
+  1D transfer function  |  tightened 1D TF  |  repeated blur  |  learned
+
+Run:  python examples/cosmology_denoising.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    Camera,
+    DataSpaceClassifier,
+    InteractiveSession,
+    Oracle,
+    ShellFeatureExtractor,
+    TransferFunction1D,
+    make_cosmology_sequence,
+    render_volume,
+)
+from repro.core import derive_shell_radius
+from repro.metrics import detail_preservation, feature_retention, noise_suppression
+from repro.volume import iterated_smooth
+
+OUT = Path(__file__).parent / "output" / "cosmology"
+
+
+def report(name, opacity, volume, result_field=None):
+    large, small = volume.mask("large"), volume.mask("small")
+    retention = feature_retention(opacity, large, 0.5)
+    suppression = noise_suppression(opacity, small, 0.5)
+    detail = (
+        detail_preservation(result_field, volume.data, large)
+        if result_field is not None else 1.0
+    )
+    print(f"  {name:<22} retain-large={retention:5.2f}  "
+          f"suppress-small={suppression:5.2f}  detail={detail:5.2f}")
+    return retention, suppression, detail
+
+
+def main():
+    print("Generating the reionization analogue (3 filaments + tiny blobs)...")
+    sequence = make_cosmology_sequence(shape=(40, 40, 40), times=[130, 250, 310])
+    vol = sequence.at_time(310)
+    domain = vol.value_range
+
+    # --- Interactive learning session (Fig. 11 loop) -------------------
+    radius = derive_shell_radius(vol.mask("large"))
+    print(f"Derived shell radius from the selected structures: {radius} voxels")
+    classifier = DataSpaceClassifier(ShellFeatureExtractor(radius=radius), seed=5)
+    # Fig. 8 protocol: the scientist paints at steps 130 *and* 310, the
+    # trained network is then applied to the unseen steps in between.
+    session = InteractiveSession(sequence.at_time(130), classifier=classifier, idle_epochs=80)
+    oracle = Oracle("large", seed=11, brush_radius=1)
+    print("Painting and refining at t=130, then t=310...")
+    session.run_with_oracle(oracle, rounds=3, strokes_per_round=14, truth_mask_name="large")
+    session.add_volume(vol)
+    history = session.run_with_oracle(
+        oracle, rounds=3, strokes_per_round=14, truth_mask_name="large"
+    )
+    for record in history:
+        print(f"  round {record.round_index}: +{record.samples_added} samples, "
+              f"loss={record.training_loss:.4f}, accuracy={record.accuracy:.3f}")
+
+    # --- Compare the four Fig. 7 methods --------------------------------
+    print("\nFig. 7 comparison at t=310:")
+    tf_all = TransferFunction1D(domain).add_box(0.35 * domain[1], domain[1], 0.8)
+    report("1D transfer function", tf_all.opacity_at(vol.data), vol)
+
+    tf_tight = TransferFunction1D(domain).add_box(0.75 * domain[1], domain[1], 0.8)
+    report("tightened 1D TF", tf_tight.opacity_at(vol.data), vol)
+
+    blurred = iterated_smooth(vol, radius=1, iterations=4)
+    report("repeated blur + TF", tf_all.opacity_at(blurred.data), vol,
+           result_field=blurred.data)
+
+    certainty = session.preview_volume()
+    learned_opacity = tf_all.opacity_at(vol.data) * certainty
+    # The learned method modulates *opacity* only — voxel values are
+    # untouched, so surviving detail is exact (unlike the blur).
+    report("learning-based (ours)", learned_opacity, vol, result_field=vol.data)
+
+    # --- Fig. 8: apply the trained net to an *unseen* time step ---------
+    print("\nFig. 8 generalization (painted at 130 & 310, applied to unseen 250):")
+    other = sequence.at_time(250)
+    cert_other = session.preview_volume(volume=other)
+    report("learning-based @250", cert_other, other)
+
+    # --- Render before/after ------------------------------------------
+    camera = Camera(azimuth=30, elevation=20, width=160, height=160)
+    render_volume(vol, tf_all, camera=camera).save_ppm(OUT / "before.ppm")
+    rgba_opacity = TransferFunction1D(domain).add_box(0.35 * domain[1], domain[1], 0.8)
+    cleaned = vol.copy()
+    cleaned.data[certainty < 0.5] = 0.0
+    render_volume(cleaned, rgba_opacity, camera=camera).save_ppm(OUT / "after.ppm")
+    print(f"\nBefore/after renders written to {OUT}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Quickstart: learn an adaptive transfer function and render a sequence.
+
+The 60-second tour of the library, mirroring the paper's Fig. 1 workflow:
+
+1. build a time-varying dataset (the argon-bubble analogue);
+2. paint 1D transfer functions for two key frames (here: tents placed over
+   the ring's histogram peak, as a user would with a TF widget);
+3. train the Intelligent Adaptive Transfer Function (IATF);
+4. regenerate a per-step TF for every time step and render.
+
+Run:  python examples/quickstart.py
+Outputs PPM images under examples/output/quickstart/.
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    AdaptiveTransferFunction,
+    Camera,
+    TransferFunction1D,
+    interpolate_transfer_functions,
+    make_argon_sequence,
+    render_volume,
+)
+from repro.data.argon import ring_value_band
+from repro.metrics import feature_retention
+
+OUT = Path(__file__).parent / "output" / "quickstart"
+
+
+def paint_key_frame_tf(sequence, time):
+    """What the user does at a key frame: put a tent over the ring peak."""
+    lo, hi = ring_value_band(sequence, time)
+    center, width = (lo + hi) / 2, (hi - lo) * 2.5
+    return TransferFunction1D(sequence.value_range).add_tent(center, width, peak=1.0)
+
+
+def main():
+    print("Generating the argon-bubble analogue (ring drifts in value over time)...")
+    sequence = make_argon_sequence(shape=(32, 44, 44), times=range(195, 256, 10))
+
+    print("Painting key-frame TFs at t=195 and t=255, training the IATF...")
+    iatf = AdaptiveTransferFunction.for_sequence(sequence, seed=3)
+    for t in (195, 255):
+        iatf.add_key_frame(sequence.at_time(t), paint_key_frame_tf(sequence, t))
+    losses = iatf.train(epochs=300)
+    print(f"  trained to loss {losses[-1]:.5f} in {len(losses)} epochs")
+
+    camera = Camera(azimuth=35, elevation=25, width=160, height=160)
+    tf_a = paint_key_frame_tf(sequence, 195)
+    tf_b = paint_key_frame_tf(sequence, 255)
+
+    curves = {"iatf": [], "interp": [], "static": []}
+    print(f"\n{'step':>6} {'IATF':>8} {'interp':>8} {'static':>8}   (ring retention)")
+    for i, vol in enumerate(sequence):
+        truth = vol.mask("ring")
+        adaptive_tf = iatf.generate(vol)
+        alpha = i / (len(sequence) - 1)
+        interp_tf = interpolate_transfer_functions(tf_a, tf_b, alpha)
+        scores = (
+            feature_retention(adaptive_tf.opacity_at(vol.data), truth),
+            feature_retention(interp_tf.opacity_at(vol.data), truth),
+            feature_retention(tf_a.opacity_at(vol.data), truth),
+        )
+        for name, score in zip(curves, scores):
+            curves[name].append(score)
+        print(f"{vol.time:>6} {scores[0]:>8.2f} {scores[1]:>8.2f} {scores[2]:>8.2f}")
+        image = render_volume(vol, adaptive_tf, camera=camera, step=1.0)
+        path = image.save_ppm(OUT / f"iatf_t{vol.time}.ppm")
+
+    # rasterize the retention curves + the Fig. 2 histogram timelines
+    from repro.render import line_chart
+    from repro.render.image import save_pgm
+    from repro.volume.histogram import histogram_timeline
+
+    times = list(sequence.times)
+    line_chart({k: (times, v) for k, v in curves.items()},
+               title="RING RETENTION", y_range=(0.0, 1.05)).save_ppm(
+        OUT / "retention.ppm")
+    save_pgm(np.log1p(histogram_timeline(sequence, bins=256)),
+             OUT / "fig2_histograms.pgm")
+    save_pgm(histogram_timeline(sequence, bins=256, cumulative=True),
+             OUT / "fig2_cumulative.pgm")
+
+    print(f"\nRendered frames, retention chart, and Fig. 2 timelines "
+          f"written to {OUT}/")
+    print("The IATF column stays ~1.0 at every step; the baselines lose the "
+          "ring away from their key frames — the paper's Fig. 3/4 result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments lacking the ``wheel`` package (pip falls back to the legacy
+``setup.py develop`` path instead of building a PEP 660 wheel).
+"""
+
+from setuptools import setup
+
+setup()

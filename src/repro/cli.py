@@ -1,0 +1,269 @@
+"""Command-line interface: the batch half of the paper's workflow.
+
+The interactive half (painting, key frames) happens in a session; the
+batch half — generating data, training from key frames, fanning the
+trained artifact across a sequence, rendering, tracking — is scriptable,
+which is how the paper's cluster deployment runs (Secs. 4.2.3, 8).
+
+Subcommands (``python -m repro.cli <cmd> -h`` for options):
+
+- ``generate`` — build a synthetic dataset and save it as a sequence dir;
+- ``info`` — summarize a saved sequence (steps, shape, ranges, masks);
+- ``train-iatf`` — train an IATF from key frames (tents auto-placed over a
+  named ground-truth mask's value band) and save it as JSON;
+- ``apply-iatf`` — regenerate per-step TFs from a saved IATF, report
+  feature retention, optionally in parallel;
+- ``render`` — render a sequence to PPM frames with a box TF or saved IATF;
+- ``track`` — fixed-range or adaptive tracking; writes per-step voxel
+  counts and the event timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.iatf import AdaptiveTransferFunction
+from repro.core.pipeline import generate_sequence_tfs
+from repro.core.tracking import FeatureTracker
+from repro.data import (
+    make_argon_sequence,
+    make_combustion_sequence,
+    make_cosmology_sequence,
+    make_swirl_sequence,
+    make_vortex_sequence,
+)
+from repro.metrics import feature_retention
+from repro.render.camera import Camera
+from repro.render.raycast import render_volume
+from repro.transfer.tf1d import TransferFunction1D
+from repro.volume.io import load_sequence, save_sequence
+
+_GENERATORS = {
+    "argon": make_argon_sequence,
+    "combustion": make_combustion_sequence,
+    "cosmology": make_cosmology_sequence,
+    "vortex": make_vortex_sequence,
+    "swirl": make_swirl_sequence,
+}
+
+
+def _mask_band(volume, mask_name: str, pad: float = 0.02):
+    values = volume.data[volume.mask(mask_name)]
+    if values.size == 0:
+        raise SystemExit(f"mask {mask_name!r} is empty at step {volume.time}")
+    lo, hi = np.percentile(values, [2.0, 98.0])
+    return float(lo - pad), float(hi + pad)
+
+
+# --------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------- #
+def cmd_generate(args) -> int:
+    """Build a synthetic dataset and save it as a sequence directory."""
+    maker = _GENERATORS[args.dataset]
+    kwargs = {"seed": args.seed}
+    if args.shape:
+        kwargs["shape"] = tuple(args.shape)
+    if args.times:
+        kwargs["times"] = args.times
+    sequence = maker(**kwargs)
+    save_sequence(sequence, args.out)
+    print(f"wrote {len(sequence)} steps of {args.dataset} "
+          f"(shape {sequence.shape}) to {args.out}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    """Summarize a saved sequence (steps, shape, ranges, masks)."""
+    sequence = load_sequence(args.seqdir)
+    lo, hi = sequence.value_range
+    print(f"sequence: {sequence.name or Path(args.seqdir).name}")
+    print(f"steps: {len(sequence)} (ids {sequence.times[0]}..{sequence.times[-1]})")
+    print(f"grid: {sequence.shape}")
+    print(f"value range: [{lo:.4g}, {hi:.4g}]")
+    masks = sorted(sequence[0].masks)
+    print(f"ground-truth masks: {masks or 'none'}")
+    for vol in sequence:
+        vlo, vhi = vol.value_range
+        print(f"  step {vol.time}: range [{vlo:.4g}, {vhi:.4g}]"
+              + "".join(f" {m}={int(vol.mask(m).sum())}vx" for m in masks))
+    return 0
+
+
+def cmd_train_iatf(args) -> int:
+    """Train an IATF from key frames; save it as JSON."""
+    key_frames = load_sequence(args.seqdir, times=args.key_frames)
+    manifest = json.loads((Path(args.seqdir) / "sequence.json").read_text())
+    all_times = [int(t) for t in manifest["times"]]
+    # The shared domain must cover the whole sequence; compute it from the
+    # manifest's steps without holding them all in core.
+    full = load_sequence(args.seqdir)
+    domain = full.value_range
+    iatf = AdaptiveTransferFunction(
+        domain, (all_times[0], all_times[-1]), seed=args.seed,
+        committee=args.committee,
+    )
+    for t in args.key_frames:
+        vol = key_frames.at_time(t)
+        lo, hi = _mask_band(vol, args.mask)
+        tf = TransferFunction1D(domain).add_tent(
+            (lo + hi) / 2, (hi - lo) * args.tent_factor, 1.0
+        )
+        iatf.add_key_frame(vol, tf)
+    losses = iatf.train(epochs=args.epochs)
+    Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+    Path(args.out).write_text(json.dumps(iatf.to_dict()))
+    print(f"trained IATF on key frames {args.key_frames} "
+          f"(final loss {losses[-1]:.5f}); saved to {args.out}")
+    return 0
+
+
+def cmd_apply_iatf(args) -> int:
+    """Regenerate per-step TFs from a saved IATF; report retention."""
+    sequence = load_sequence(args.seqdir)
+    iatf = AdaptiveTransferFunction.from_dict(json.loads(Path(args.iatf).read_text()))
+    backend = "process" if args.workers > 1 else "serial"
+    tfs = generate_sequence_tfs(iatf, sequence, workers=args.workers, backend=backend)
+    print(f"{'step':>6} {'max opacity':>12}" + (f" {'retention':>10}" if args.mask else ""))
+    for vol, tf in zip(sequence, tfs):
+        line = f"{vol.time:>6} {tf.opacity.max():>12.3f}"
+        if args.mask:
+            ret = feature_retention(tf.opacity_at(vol.data), vol.mask(args.mask))
+            line += f" {ret:>10.3f}"
+        print(line)
+    if args.out:
+        payload = {str(vol.time): tf.to_dict() for vol, tf in zip(sequence, tfs)}
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(json.dumps(payload))
+        print(f"per-step TFs saved to {args.out}")
+    return 0
+
+
+def cmd_render(args) -> int:
+    """Render every step to PPM frames (box TF or saved IATF)."""
+    sequence = load_sequence(args.seqdir)
+    domain = sequence.value_range
+    camera = Camera(azimuth=args.azimuth, elevation=args.elevation,
+                    width=args.size, height=args.size)
+    if args.iatf:
+        iatf = AdaptiveTransferFunction.from_dict(json.loads(Path(args.iatf).read_text()))
+        tf_for = lambda vol: iatf.generate(vol)  # noqa: E731
+    else:
+        lo = args.box[0] if args.box else domain[0] + 0.3 * (domain[1] - domain[0])
+        hi = args.box[1] if args.box else domain[1]
+        static = TransferFunction1D(domain).add_box(lo, hi, args.opacity)
+        tf_for = lambda vol: static  # noqa: E731
+    outdir = Path(args.out)
+    for vol in sequence:
+        image = render_volume(vol, tf_for(vol), camera=camera,
+                              shading=not args.no_shading)
+        path = image.save_ppm(outdir / f"frame_{vol.time:06d}.ppm")
+        print(f"step {vol.time}: coverage {image.coverage():.3f} -> {path}")
+    return 0
+
+
+def cmd_track(args) -> int:
+    """Track a feature (fixed range or adaptive IATF criterion)."""
+    sequence = load_sequence(args.seqdir)
+    tracker = FeatureTracker(opacity_threshold=args.opacity_threshold)
+    seed = tuple(args.seed_voxel)
+    if args.iatf:
+        iatf = AdaptiveTransferFunction.from_dict(json.loads(Path(args.iatf).read_text()))
+        result = tracker.track_adaptive(sequence, seed, iatf)
+    else:
+        if not args.range:
+            raise SystemExit("either --iatf or --range LO HI is required")
+        result = tracker.track_fixed(sequence, seed, args.range[0], args.range[1])
+    print(f"criterion: {result.criterion}")
+    print(f"{'step':>6} {'voxels':>8} {'components':>11}")
+    for t, n, c in zip(result.times, result.voxel_counts, result.component_counts()):
+        print(f"{t:>6} {n:>8} {c:>11}")
+    events = [e for e in result.events if e.kind != "continuation"]
+    print("events:", [(e.kind, f"{e.time_a}->{e.time_b}") for e in events] or "none")
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        np.save(out, result.masks)
+        print(f"tracked masks saved to {out}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Intelligent feature extraction & tracking (SC'05 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="build a synthetic dataset")
+    p.add_argument("dataset", choices=sorted(_GENERATORS))
+    p.add_argument("out", help="output sequence directory")
+    p.add_argument("--shape", type=int, nargs=3, metavar=("NZ", "NY", "NX"))
+    p.add_argument("--times", type=int, nargs="+")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("info", help="summarize a saved sequence")
+    p.add_argument("seqdir")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("train-iatf", help="train an IATF from key frames")
+    p.add_argument("seqdir")
+    p.add_argument("--key-frames", type=int, nargs="+", required=True)
+    p.add_argument("--mask", required=True,
+                   help="ground-truth mask whose value band the key-frame tents cover")
+    p.add_argument("--out", required=True, help="output IATF json")
+    p.add_argument("--epochs", type=int, default=300)
+    p.add_argument("--committee", type=int, default=5)
+    p.add_argument("--tent-factor", type=float, default=2.5)
+    p.add_argument("--seed", type=int, default=3)
+    p.set_defaults(func=cmd_train_iatf)
+
+    p = sub.add_parser("apply-iatf", help="regenerate per-step TFs from a saved IATF")
+    p.add_argument("seqdir")
+    p.add_argument("iatf", help="IATF json from train-iatf")
+    p.add_argument("--mask", help="score retention against this mask")
+    p.add_argument("--out", help="save per-step TFs as json")
+    p.add_argument("--workers", type=int, default=1)
+    p.set_defaults(func=cmd_apply_iatf)
+
+    p = sub.add_parser("render", help="render a sequence to PPM frames")
+    p.add_argument("seqdir")
+    p.add_argument("--out", required=True)
+    p.add_argument("--iatf", help="saved IATF json (default: static box TF)")
+    p.add_argument("--box", type=float, nargs=2, metavar=("LO", "HI"))
+    p.add_argument("--opacity", type=float, default=0.8)
+    p.add_argument("--size", type=int, default=160)
+    p.add_argument("--azimuth", type=float, default=30.0)
+    p.add_argument("--elevation", type=float, default=20.0)
+    p.add_argument("--no-shading", action="store_true")
+    p.set_defaults(func=cmd_render)
+
+    p = sub.add_parser("track", help="track a feature through a sequence")
+    p.add_argument("seqdir")
+    p.add_argument("--seed-voxel", type=int, nargs=4, required=True,
+                   metavar=("STEP", "Z", "Y", "X"))
+    p.add_argument("--range", type=float, nargs=2, metavar=("LO", "HI"))
+    p.add_argument("--iatf", help="saved IATF json for adaptive tracking")
+    p.add_argument("--opacity-threshold", type=float, default=0.1)
+    p.add_argument("--out", help="save tracked masks as .npy")
+    p.set_defaults(func=cmd_track)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Hidden-Markov temporal smoothing of per-voxel certainties.
+
+Sec. 3 lists Hidden Markov Models among the supervised techniques
+*"usable for our purpose"*.  Their natural role in this system is the
+*temporal* axis: a voxel's feature membership over a time sequence is a
+two-state process (background/feature) whose transitions are slow compared
+to the sampling rate — yet an independently-applied per-step classifier
+produces certainty sequences that flicker near the decision boundary.
+
+:class:`TemporalHMM` is a two-state HMM with Gaussian emissions over the
+classifier's certainty values; forward–backward gives the smoothed
+posterior P(feature at t | the whole certainty sequence) per voxel, and
+Viterbi gives the single most probable label path.  Applied to a stack of
+per-step certainty volumes it runs fully vectorized across voxels — every
+voxel is an independent chain sharing the same parameters.
+
+This makes the extraction-then-tracking pipeline steadier: transient
+single-step dropouts (which break 4D region growing's temporal adjacency)
+are bridged by the state persistence prior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TemporalHMM:
+    """Two-state (background=0 / feature=1) HMM over certainty sequences.
+
+    Parameters
+    ----------
+    persistence:
+        Probability of *staying* in the current state per step — the
+        temporal-coherence prior (0.5 = no smoothing).
+    emission_means / emission_stds:
+        Gaussian emission parameters per state for the observed certainty
+        values; defaults model a classifier that outputs ≈0.15 on
+        background and ≈0.85 on feature voxels, with stds wide enough
+        that a single contradictory observation cannot overwhelm the
+        persistence prior (the bridging behaviour).
+    prior:
+        Initial probability of the feature state.
+    """
+
+    def __init__(self, persistence: float = 0.9,
+                 emission_means=(0.15, 0.85), emission_stds=(0.3, 0.3),
+                 prior: float = 0.2) -> None:
+        if not 0.5 <= persistence < 1.0:
+            raise ValueError(f"persistence must be in [0.5, 1), got {persistence}")
+        if not 0.0 < prior < 1.0:
+            raise ValueError(f"prior must be in (0, 1), got {prior}")
+        if any(s <= 0 for s in emission_stds):
+            raise ValueError("emission stds must be positive")
+        self.persistence = float(persistence)
+        self.means = np.asarray(emission_means, dtype=np.float64)
+        self.stds = np.asarray(emission_stds, dtype=np.float64)
+        self.prior = float(prior)
+        stay = self.persistence
+        self.transition = np.array([[stay, 1 - stay], [1 - stay, stay]])
+
+    # ------------------------------------------------------------------ #
+    def _emission_logprob(self, observations: np.ndarray) -> np.ndarray:
+        """Log emission densities, shape ``obs.shape + (2,)``."""
+        obs = observations[..., None]
+        return -0.5 * (
+            np.log(2 * np.pi * self.stds**2) + ((obs - self.means) / self.stds) ** 2
+        )
+
+    def smooth(self, certainties: np.ndarray) -> np.ndarray:
+        """Posterior P(feature | whole sequence) per voxel and step.
+
+        ``certainties`` has shape ``(steps, ...)``; the output matches.
+        Scaled forward–backward (per-step normalization keeps the
+        recursion stable without log-space), one pass over steps,
+        vectorized over voxels.
+        """
+        certs = np.asarray(certainties, dtype=np.float64)
+        if certs.ndim < 1 or certs.shape[0] < 1:
+            raise ValueError("need at least one time step")
+        T = certs.shape[0]
+        emis = np.exp(self._emission_logprob(np.clip(certs, 0.0, 1.0)))
+        alpha = np.empty_like(emis)
+        scale = np.empty(certs.shape)
+        pi = np.array([1 - self.prior, self.prior])
+        alpha[0] = pi * emis[0]
+        scale[0] = alpha[0].sum(axis=-1)
+        alpha[0] /= scale[0][..., None]
+        A = self.transition
+        for t in range(1, T):
+            pred = alpha[t - 1] @ A
+            alpha[t] = pred * emis[t]
+            scale[t] = alpha[t].sum(axis=-1)
+            alpha[t] /= scale[t][..., None]
+        beta = np.empty_like(alpha)
+        beta[-1] = 1.0
+        for t in range(T - 2, -1, -1):
+            beta[t] = (emis[t + 1] * beta[t + 1]) @ A.T
+            beta[t] /= scale[t + 1][..., None]
+        post = alpha * beta
+        post /= post.sum(axis=-1, keepdims=True)
+        return post[..., 1]
+
+    def viterbi(self, certainties: np.ndarray) -> np.ndarray:
+        """Most probable boolean label path per voxel, shape of the input."""
+        certs = np.asarray(certainties, dtype=np.float64)
+        T = certs.shape[0]
+        log_emis = self._emission_logprob(np.clip(certs, 0.0, 1.0))
+        log_a = np.log(self.transition)
+        log_pi = np.log([1 - self.prior, self.prior])
+        delta = log_pi + log_emis[0]
+        back = np.empty((T,) + certs.shape[1:] + (2,), dtype=np.int8)
+        for t in range(1, T):
+            # cand[..., i, j] = delta[..., i] + log_a[i, j]
+            cand = delta[..., :, None] + log_a
+            back[t] = cand.argmax(axis=-2)
+            delta = cand.max(axis=-2) + log_emis[t]
+        path = np.empty((T,) + certs.shape[1:], dtype=np.int8)
+        path[-1] = delta.argmax(axis=-1)
+        for t in range(T - 2, -1, -1):
+            path[t] = np.take_along_axis(
+                back[t + 1], path[t + 1][..., None].astype(np.int64), axis=-1
+            )[..., 0]
+        return path.astype(bool)
+
+
+def smooth_certainty_stack(certainties, persistence: float = 0.9,
+                           **hmm_kwargs) -> np.ndarray:
+    """Convenience: forward–backward smooth a ``[steps, z, y, x]`` stack."""
+    stack = np.stack([np.asarray(c) for c in certainties], axis=0)
+    return TemporalHMM(persistence=persistence, **hmm_kwargs).smooth(stack)

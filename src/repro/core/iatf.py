@@ -1,0 +1,327 @@
+"""Intelligent Adaptive Transfer Function (IATF) — paper Sec. 4.2.
+
+Workflow (Fig. 1): the user assigns ordinary 1D transfer functions to a few
+*key frames*; each key-frame TF entry becomes one training vector
+``⟨data, cumulative-histogram(data), time⟩ → opacity`` (Sec. 4.2.2 — the
+training set comes from the TFs themselves, not from sampling voxels, so
+every TF entry is equally represented and no volume needs to stay in core).
+A learned model maps those inputs to opacity; at render time it regenerates
+a fresh 1D TF for *any* time step by evaluating every table entry's
+⟨value, cumhist, t⟩ triple — sub-second work, cheap enough to redo per
+frame (Sec. 7).
+
+Why two pathways
+----------------
+The paper asks the adaptive TF to do two things at once (Sec. 4.2.1): to
+*"adapt to shifts in feature value over time by taking into account the
+cumulative histogram value"* and to *"remain invariant with respect to
+cumulative histogram value by relying on scalar value"* (for features that
+keep their value but change size).  A single three-input perceptron can
+satisfy both on the key frames yet hang its mapping entirely on whichever
+input the initialization favors — the key-frame training data is exactly
+consistent with a value-gated and a cumhist-gated hypothesis, and only
+whichever signal actually stays stable generalizes to unseen steps (see
+``docs/reproduction_notes.md`` §3).  This implementation therefore trains
+one small committee of perceptrons per *pathway* — ⟨value, time⟩ and
+⟨cumulative histogram, time⟩ — each a well-posed 2D fit with no ambiguity,
+and combines them with a per-entry **max**: a TF entry is visible when
+*either* signal says the user would have kept it visible.  Under global
+value drift the cumhist pathway carries the feature (Figs. 3–5); for
+constant-value/size-changing features the value pathway does; the max is
+never worse than either specialist, and reduces to the paper's exact
+failure-mode baselines only when both signals break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mlp import NeuralNetwork
+from repro.transfer.tf1d import TransferFunction1D
+from repro.volume.grid import Volume, VolumeSequence
+from repro.volume.histogram import CumulativeHistogram
+
+
+@dataclass
+class KeyFrame:
+    """One user-specified key frame: a time step, its TF, its cumhist."""
+
+    time: int
+    tf: TransferFunction1D
+    cumhist: CumulativeHistogram
+
+
+class AdaptiveTransferFunction:
+    """Learnable, time-adaptive transfer function.
+
+    Parameters
+    ----------
+    domain:
+        Sequence-global scalar ``(lo, hi)``; all key-frame TFs and all
+        generated TFs share it so entry indices mean the same value at
+        every step.
+    time_range:
+        ``(t_first, t_last)`` of the sequence being visualized, used to
+        normalize the time input.
+    entries:
+        TF table resolution.
+    bins:
+        Cumulative-histogram resolution.
+    hidden, learning_rate, momentum, seed:
+        Hyper-parameters of the underlying perceptrons.
+    committee:
+        Perceptrons per pathway; their predictions are averaged (seeds
+        ``seed, seed+1, …``).  The pathway design removes the
+        generalization ambiguity, so the committee only smooths
+        initialization wiggle — small values suffice.
+    use_cumhist, use_time:
+        Ablation switches (DESIGN.md §4): dropping the cumulative-histogram
+        pathway degrades the IATF toward interpolation-like behaviour
+        under value drift.
+    """
+
+    def __init__(self, domain, time_range, entries: int = 256, bins: int = 256,
+                 hidden: int = 8, learning_rate: float = 0.5, momentum: float = 0.9,
+                 seed=0, committee: int = 3, use_cumhist: bool = True,
+                 use_time: bool = True) -> None:
+        self.lo = float(domain[0])
+        self.hi = float(domain[1])
+        if not self.hi > self.lo:
+            raise ValueError(f"domain must satisfy hi > lo, got {domain}")
+        if committee < 1:
+            raise ValueError(f"committee must be >= 1, got {committee}")
+        self.t0 = float(time_range[0])
+        self.t1 = float(time_range[1])
+        self.entries = int(entries)
+        self.bins = int(bins)
+        self.committee = int(committee)
+        self.use_cumhist = bool(use_cumhist)
+        self.use_time = bool(use_time)
+
+        # Feature-column layout of training_arrays()/_features():
+        # [value, cumhist?, time?] — pathway column selectors follow it.
+        self._value_cols = [0] + ([1 + int(self.use_cumhist)] if self.use_time else [])
+        self._cumhist_cols = (
+            [1] + ([2] if self.use_time else []) if self.use_cumhist else []
+        )
+
+        base_seed = int(seed) if not hasattr(seed, "integers") else int(seed.integers(0, 2**31))
+
+        def build(n_inputs, offset):
+            return [
+                NeuralNetwork(n_inputs, n_hidden=hidden, learning_rate=learning_rate,
+                              momentum=momentum, seed=base_seed + offset + m)
+                for m in range(self.committee)
+            ]
+
+        self.value_nets = build(len(self._value_cols), 0)
+        self.cumhist_nets = (
+            build(len(self._cumhist_cols), 1000) if self.use_cumhist else []
+        )
+        self.key_frames: list[KeyFrame] = []
+
+    @property
+    def nets(self) -> list[NeuralNetwork]:
+        """All committee members across both pathways (introspection)."""
+        return self.value_nets + self.cumhist_nets
+
+    @property
+    def net(self) -> NeuralNetwork:
+        """The first committee member (kept for introspection/tests)."""
+        return self.nets[0]
+
+    # ------------------------------------------------------------------ #
+    # Key frames and training
+    # ------------------------------------------------------------------ #
+    def _norm_time(self, time: float) -> float:
+        if self.t1 == self.t0:
+            return 0.0
+        return (float(time) - self.t0) / (self.t1 - self.t0)
+
+    def _norm_values(self, values: np.ndarray) -> np.ndarray:
+        return (np.asarray(values, dtype=np.float64) - self.lo) / (self.hi - self.lo)
+
+    def _features(self, values: np.ndarray, cumhist: CumulativeHistogram, time: float) -> np.ndarray:
+        cols = [self._norm_values(values)]
+        if self.use_cumhist:
+            cols.append(cumhist.at_values(values))
+        if self.use_time:
+            cols.append(np.full(len(values), self._norm_time(time)))
+        return np.stack(cols, axis=1)
+
+    def add_key_frame(self, volume: Volume, tf: TransferFunction1D) -> KeyFrame:
+        """Register a user-specified key-frame TF for ``volume``'s step.
+
+        The volume supplies the cumulative histogram (computed over the
+        shared domain); only the histogram is retained, so key-frame
+        volumes can be streamed and dropped (the out-of-core pattern).
+        """
+        if (tf.lo, tf.hi, tf.entries) != (self.lo, self.hi, self.entries):
+            raise ValueError(
+                "key-frame TF must share the IATF's domain and resolution: "
+                f"TF has ({tf.lo}, {tf.hi}, {tf.entries}), IATF has "
+                f"({self.lo}, {self.hi}, {self.entries})"
+            )
+        ch = CumulativeHistogram.of(volume, bins=self.bins, domain=(self.lo, self.hi))
+        kf = KeyFrame(time=volume.time, tf=tf.copy(), cumhist=ch)
+        self.key_frames.append(kf)
+        return kf
+
+    def training_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Assemble the Sec. 4.2.2 training set from all key frames.
+
+        One sample per TF entry per key frame: inputs
+        ⟨value, cumhist(value), t⟩ (normalized), target the user's opacity.
+        """
+        if not self.key_frames:
+            raise ValueError("no key frames added yet")
+        xs, ys = [], []
+        for kf in self.key_frames:
+            values = kf.tf.entry_values()
+            xs.append(self._features(values, kf.cumhist, kf.time))
+            ys.append(kf.tf.opacity.copy())
+        return np.concatenate(xs, axis=0), np.concatenate(ys, axis=0)
+
+    def train_on_arrays(self, X: np.ndarray, y: np.ndarray, epochs: int = 300,
+                        batch_size: int = 64, tol: float = 1e-5) -> list[float]:
+        """Train both pathways from a full feature matrix.
+
+        ``X`` uses the :meth:`training_arrays` column layout; each pathway
+        receives its own column subset.  Returns the mean member loss per
+        epoch index (histories may differ in length under early stopping).
+        """
+        histories = [
+            net.train(X[:, self._value_cols], y, epochs=epochs,
+                      batch_size=batch_size, tol=tol)
+            for net in self.value_nets
+        ] + [
+            net.train(X[:, self._cumhist_cols], y, epochs=epochs,
+                      batch_size=batch_size, tol=tol)
+            for net in self.cumhist_nets
+        ]
+        longest = max(len(h) for h in histories)
+        merged = []
+        for i in range(longest):
+            vals = [h[i] for h in histories if i < len(h)]
+            merged.append(float(np.mean(vals)))
+        return merged
+
+    def train(self, epochs: int = 300, batch_size: int = 64, tol: float = 1e-5) -> list[float]:
+        """Train (or continue training) on all key frames."""
+        X, y = self.training_arrays()
+        return self.train_on_arrays(X, y, epochs=epochs, batch_size=batch_size, tol=tol)
+
+    def train_increment(self, epochs: int = 10, batch_size: int = 64) -> float:
+        """Idle-loop training slice; returns mean member loss (Sec. 4.2.2)."""
+        X, y = self.training_arrays()
+        losses = [
+            net.train_increment(X[:, self._value_cols], y, epochs=epochs,
+                                batch_size=batch_size)
+            for net in self.value_nets
+        ] + [
+            net.train_increment(X[:, self._cumhist_cols], y, epochs=epochs,
+                                batch_size=batch_size)
+            for net in self.cumhist_nets
+        ]
+        return float(np.mean(losses))
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+    def _predict_opacity(self, F: np.ndarray) -> np.ndarray:
+        """Pathway predictions combined with max (see module docstring)."""
+        value_pred = np.mean(
+            [net.predict(F[:, self._value_cols]) for net in self.value_nets], axis=0
+        )
+        if not self.cumhist_nets:
+            return np.clip(value_pred, 0.0, 1.0)
+        cumhist_pred = np.mean(
+            [net.predict(F[:, self._cumhist_cols]) for net in self.cumhist_nets], axis=0
+        )
+        return np.clip(np.maximum(value_pred, cumhist_pred), 0.0, 1.0)
+
+    def generate(self, volume: Volume, time: int | None = None) -> TransferFunction1D:
+        """Regenerate the 1D TF for ``volume``'s time step.
+
+        *"The value of each element in the transfer function is obtained by
+        passing that element's index (a scalar value), cumulative histogram
+        value and time to the trained neural network."* — Sec. 4.2.2.
+        """
+        if not self.key_frames:
+            raise ValueError("IATF has no key frames; add and train first")
+        time = volume.time if time is None else time
+        ch = CumulativeHistogram.of(volume, bins=self.bins, domain=(self.lo, self.hi))
+        template = self.key_frames[0].tf
+        values = template.entry_values()
+        F = self._features(values, ch, time)
+        opacity = self._predict_opacity(F)
+        return TransferFunction1D(
+            (self.lo, self.hi), self.entries, opacity=opacity, colormap=template.colormap
+        )
+
+    def opacity_volume(self, volume: Volume, time: int | None = None) -> np.ndarray:
+        """Per-voxel opacity for a step: generate the TF, look up all voxels."""
+        tf = self.generate(volume, time=time)
+        return tf.opacity_at(volume.data)
+
+    @classmethod
+    def for_sequence(cls, sequence: VolumeSequence, **kwargs) -> "AdaptiveTransferFunction":
+        """Construct with domain/time-range taken from a sequence."""
+        times = sequence.times
+        return cls(sequence.value_range, (times[0], times[-1]), **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Serialization (ship the trained IATF to render nodes, Sec. 4.2.3)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot: pathway committees + key frames.
+
+        This is the artifact Sec. 4.2.3 ships to *"parallel systems or
+        remote machines for rendering"* — a few kilobytes, independent of
+        the data size.
+        """
+        return {
+            "domain": [self.lo, self.hi],
+            "time_range": [self.t0, self.t1],
+            "entries": self.entries,
+            "bins": self.bins,
+            "use_cumhist": self.use_cumhist,
+            "use_time": self.use_time,
+            "value_nets": [net.to_dict() for net in self.value_nets],
+            "cumhist_nets": [net.to_dict() for net in self.cumhist_nets],
+            "key_frames": [
+                {
+                    "time": kf.time,
+                    "tf": kf.tf.to_dict(),
+                    "cdf": kf.cumhist.cdf.tolist(),
+                    "cdf_lo": kf.cumhist.lo,
+                    "cdf_hi": kf.cumhist.hi,
+                }
+                for kf in self.key_frames
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AdaptiveTransferFunction":
+        """Inverse of :meth:`to_dict`."""
+        iatf = cls(
+            payload["domain"], payload["time_range"], entries=payload["entries"],
+            bins=payload["bins"], committee=max(len(payload["value_nets"]), 1),
+            use_cumhist=payload["use_cumhist"], use_time=payload["use_time"],
+        )
+        iatf.value_nets = [NeuralNetwork.from_dict(n) for n in payload["value_nets"]]
+        iatf.cumhist_nets = [NeuralNetwork.from_dict(n) for n in payload["cumhist_nets"]]
+        iatf.key_frames = [
+            KeyFrame(
+                time=int(kf["time"]),
+                tf=TransferFunction1D.from_dict(kf["tf"]),
+                cumhist=CumulativeHistogram(
+                    cdf=np.asarray(kf["cdf"], dtype=np.float64),
+                    lo=float(kf["cdf_lo"]), hi=float(kf["cdf_hi"]),
+                ),
+            )
+            for kf in payload["key_frames"]
+        ]
+        return iatf

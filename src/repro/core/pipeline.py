@@ -1,0 +1,92 @@
+"""End-to-end orchestration over sequences (Sec. 4.2.3 / Sec. 8).
+
+The trained artifacts (an IATF or a data-space classifier) are small and
+picklable, so a run over hundreds of steps fans out per time step:
+*"the processing of each time step is completely independent of other time
+steps"*.  These helpers wire the core engines to the
+:mod:`repro.parallel.executor` task farm and the renderer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataspace import DataSpaceClassifier
+from repro.core.iatf import AdaptiveTransferFunction
+from repro.parallel.executor import map_timesteps
+from repro.render.camera import Camera
+from repro.render.raycast import render_volume
+from repro.transfer.tf1d import TransferFunction1D
+from repro.volume.grid import Volume, VolumeSequence
+
+
+def _classify_one(payload) -> np.ndarray:
+    classifier, volume = payload
+    return classifier.classify(volume)
+
+
+def classify_sequence(classifier: DataSpaceClassifier, sequence: VolumeSequence,
+                      workers: int | None = None, backend: str = "auto") -> list[np.ndarray]:
+    """Classify every step of a sequence, optionally in parallel.
+
+    Ships ``(classifier, volume)`` pairs to workers — the classifier is a
+    few kilobytes of weights; each worker sees only its own step's voxels
+    (the cluster deployment pattern of Sec. 8).
+    """
+    payloads = [(classifier, vol) for vol in sequence]
+    outcome = map_timesteps(_classify_one, payloads, workers=workers, backend=backend)
+    return outcome.results
+
+
+def _generate_tf_one(payload) -> TransferFunction1D:
+    iatf, volume = payload
+    return iatf.generate(volume)
+
+
+def generate_sequence_tfs(iatf: AdaptiveTransferFunction, sequence: VolumeSequence,
+                          workers: int | None = None, backend: str = "auto"
+                          ) -> list[TransferFunction1D]:
+    """Generate the adaptive TF for every step of a sequence.
+
+    This is the "create an IATF … and send [it] to parallel systems or
+    remote machines for rendering" workflow of Sec. 4.2.3.
+    """
+    payloads = [(iatf, vol) for vol in sequence]
+    outcome = map_timesteps(_generate_tf_one, payloads, workers=workers, backend=backend)
+    return outcome.results
+
+
+def _render_one(payload):
+    volume, tf, camera, step, shading = payload
+    return render_volume(volume, tf, camera=camera, step=step, shading=shading)
+
+
+def render_sequence(sequence: VolumeSequence, tfs, camera: Camera | None = None,
+                    step: float = 1.0, shading: bool = True,
+                    workers: int | None = None, backend: str = "auto") -> list:
+    """Render every step with its own transfer function.
+
+    ``tfs`` is either one shared :class:`TransferFunction1D` or a list with
+    one TF per step (the IATF output).  Returns one
+    :class:`~repro.render.image.Image` per step.
+    """
+    camera = camera or Camera()
+    if isinstance(tfs, TransferFunction1D):
+        tfs = [tfs] * len(sequence)
+    tfs = list(tfs)
+    if len(tfs) != len(sequence):
+        raise ValueError(f"need one TF per step: got {len(tfs)} TFs for {len(sequence)} steps")
+    payloads = [(vol, tf, camera, step, shading) for vol, tf in zip(sequence, tfs)]
+    outcome = map_timesteps(_render_one, payloads, workers=workers, backend=backend)
+    return outcome.results
+
+
+def extraction_masks(certainties, threshold: float = 0.5) -> np.ndarray:
+    """Stack per-step certainty fields into 4D boolean criteria.
+
+    Bridges :func:`classify_sequence` output into
+    :meth:`repro.core.tracking.FeatureTracker.track_with_criteria`.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    return np.stack([np.asarray(c) > threshold for c in certainties], axis=0)

@@ -1,0 +1,218 @@
+"""Support vector machine (SMO) — the paper's named MLP alternative.
+
+Sec. 3 lists SVMs among the supervised learners usable for intelligent
+visualization and Sec. 8 reports *"we have also used support vector
+machines and obtained promising results"*, leaving *"the cost and
+performance tradeoffs … to be evaluated"* — which the engine-comparison
+benchmark in this repository does.
+
+Implementation: C-SVM trained with a simplified SMO (sequential minimal
+optimization, Platt 1998) over linear or RBF kernels, from scratch in
+numpy.  Certainties in [0, 1] come from Platt scaling — a 1D logistic fit
+on the decision values — so the SVM drops into the same per-voxel
+classification pipeline as the perceptron (everything downstream consumes
+certainty fields).
+
+SMO is O(n²) in training-set size; painting sessions produce hundreds to a
+few thousand samples, squarely in its sweet spot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+
+def _rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float) -> np.ndarray:
+    """K[i, j] = exp(-γ‖a_i − b_j‖²), vectorized via the norm expansion."""
+    a2 = np.einsum("ij,ij->i", a, a)[:, None]
+    b2 = np.einsum("ij,ij->i", b, b)[None, :]
+    d2 = np.maximum(a2 + b2 - 2.0 * (a @ b.T), 0.0)
+    return np.exp(-gamma * d2)
+
+
+class SupportVectorMachine:
+    """Binary C-SVM with certainty outputs.
+
+    Parameters
+    ----------
+    C:
+        Box constraint (soft-margin penalty).
+    kernel:
+        ``"rbf"`` (default) or ``"linear"``.
+    gamma:
+        RBF width; ``None`` uses the median-distance heuristic
+        ``1 / (n_features · var(X))`` (the "scale" convention).
+    tol:
+        KKT violation tolerance for SMO.
+    max_passes:
+        SMO terminates after this many consecutive passes without updates.
+    seed:
+        RNG for SMO's partner selection.
+    """
+
+    def __init__(self, C: float = 1.0, kernel: str = "rbf", gamma: float | None = None,
+                 tol: float = 1e-3, max_passes: int = 5, max_iter: int = 200, seed=0):
+        if C <= 0:
+            raise ValueError(f"C must be positive, got {C}")
+        if kernel not in ("rbf", "linear"):
+            raise ValueError(f"unknown kernel {kernel!r}; expected 'rbf' or 'linear'")
+        if gamma is not None and gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        self.C = float(C)
+        self.kernel = kernel
+        self.gamma = gamma
+        self.tol = float(tol)
+        self.max_passes = int(max_passes)
+        self.max_iter = int(max_iter)
+        self._rng = as_generator(seed)
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._b = 0.0
+        self._platt_a = 1.0
+        self._platt_b = 0.0
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has run."""
+        return self._alpha is not None
+
+    @property
+    def n_support(self) -> int:
+        """Number of support vectors (α > 0)."""
+        if self._alpha is None:
+            return 0
+        return int(np.count_nonzero(self._alpha > 1e-8))
+
+    def _kernel_matrix(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self.kernel == "linear":
+            return a @ b.T
+        return _rbf_kernel(a, b, self._gamma_value)
+
+    def fit(self, X, y) -> "SupportVectorMachine":
+        """Train on inputs ``X`` and targets ``y`` (thresholded at 0.5).
+
+        Targets may be {0, 1} certainties (painted labels) — internally
+        mapped to ±1.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        y01 = (np.asarray(y, dtype=np.float64).reshape(-1) > 0.5)
+        if len(X) != len(y01):
+            raise ValueError(f"X and y disagree on sample count: {len(X)} vs {len(y01)}")
+        if y01.all() or not y01.any():
+            raise ValueError("SVM training requires both classes present")
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._std = np.where(std > 1e-9, std, 1.0)
+        Xs = (X - self._mean) / self._std
+        t = np.where(y01, 1.0, -1.0)
+
+        if self.gamma is None:
+            var = Xs.var()
+            self._gamma_value = 1.0 / (Xs.shape[1] * max(var, 1e-9))
+        else:
+            self._gamma_value = self.gamma
+
+        self._X, self._y = Xs, t
+        self._alpha = np.zeros(len(Xs))
+        self._b = 0.0
+        self._smo(Xs, t)
+        self._fit_platt(Xs, y01)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _smo(self, X: np.ndarray, t: np.ndarray) -> None:
+        n = len(X)
+        K = self._kernel_matrix(X, X)
+        alpha = self._alpha
+        b = 0.0
+        passes = 0
+        iters = 0
+        while passes < self.max_passes and iters < self.max_iter:
+            iters += 1
+            changed = 0
+            for i in range(n):
+                ei = float((alpha * t) @ K[i] + b - t[i])
+                if (t[i] * ei < -self.tol and alpha[i] < self.C) or (
+                    t[i] * ei > self.tol and alpha[i] > 0
+                ):
+                    j = int(self._rng.integers(0, n - 1))
+                    if j >= i:
+                        j += 1
+                    ej = float((alpha * t) @ K[j] + b - t[j])
+                    ai_old, aj_old = alpha[i], alpha[j]
+                    if t[i] != t[j]:
+                        lo = max(0.0, aj_old - ai_old)
+                        hi = min(self.C, self.C + aj_old - ai_old)
+                    else:
+                        lo = max(0.0, ai_old + aj_old - self.C)
+                        hi = min(self.C, ai_old + aj_old)
+                    if hi - lo < 1e-12:
+                        continue
+                    eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+                    if eta >= 0:
+                        continue
+                    aj = aj_old - t[j] * (ei - ej) / eta
+                    aj = min(max(aj, lo), hi)
+                    if abs(aj - aj_old) < 1e-7:
+                        continue
+                    ai = ai_old + t[i] * t[j] * (aj_old - aj)
+                    alpha[i], alpha[j] = ai, aj
+                    b1 = b - ei - t[i] * (ai - ai_old) * K[i, i] - t[j] * (aj - aj_old) * K[i, j]
+                    b2 = b - ej - t[i] * (ai - ai_old) * K[i, j] - t[j] * (aj - aj_old) * K[j, j]
+                    if 0 < ai < self.C:
+                        b = b1
+                    elif 0 < aj < self.C:
+                        b = b2
+                    else:
+                        b = 0.5 * (b1 + b2)
+                    changed += 1
+            passes = passes + 1 if changed == 0 else 0
+        self._b = b
+
+    def _fit_platt(self, Xs: np.ndarray, y01: np.ndarray) -> None:
+        """1D logistic fit p = σ(a·f + b) on the training decision values."""
+        f = self._decision_standardized(Xs)
+        a, b = self._platt_a, self._platt_b
+        y = y01.astype(np.float64)
+        lr = 0.05
+        for _ in range(300):
+            p = 1.0 / (1.0 + np.exp(-np.clip(a * f + b, -40.0, 40.0)))
+            grad_a = float(((p - y) * f).mean())
+            grad_b = float((p - y).mean())
+            a -= lr * grad_a
+            b -= lr * grad_b
+        self._platt_a, self._platt_b = a, b
+
+    # ------------------------------------------------------------------ #
+    def _decision_standardized(self, Xs: np.ndarray) -> np.ndarray:
+        support = self._alpha > 1e-8
+        if not support.any():
+            return np.full(len(Xs), self._b)
+        K = self._kernel_matrix(Xs, self._X[support])
+        return K @ (self._alpha[support] * self._y[support]) + self._b
+
+    def decision_function(self, X) -> np.ndarray:
+        """Signed margin distance for each input row."""
+        if not self.is_fitted:
+            raise RuntimeError("SVM is not fitted; call fit() first")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        Xs = (X - self._mean) / self._std
+        return self._decision_standardized(Xs)
+
+    def predict(self, X, chunk: int = 65536) -> np.ndarray:
+        """Certainty in [0, 1] via Platt scaling; chunked like the MLP."""
+        if not self.is_fitted:
+            raise RuntimeError("SVM is not fitted; call fit() first")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        out = np.empty(len(X), dtype=np.float64)
+        for start in range(0, len(X), int(chunk)):
+            f = self.decision_function(X[start : start + int(chunk)])
+            z = np.clip(self._platt_a * f + self._platt_b, -40.0, 40.0)
+            out[start : start + int(chunk)] = 1.0 / (1.0 + np.exp(-z))
+        return out

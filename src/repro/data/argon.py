@@ -1,0 +1,187 @@
+"""Argon-bubble analogue: a drifting "smoke ring" sequence.
+
+The paper's argon-bubble dataset (LBNL) shows a shockwave turning a gas
+bubble into a swirling torus plus trailing turbulence, with the feature's
+*scalar value drifting over time* so that a static 1D transfer function
+tuned at one step loses the ring at later steps (Figs. 2–4).  The crucial
+data property Fig. 2 demonstrates is that while the ring's histogram peak
+moves, its **cumulative-histogram coordinate stays nearly constant** —
+because the drift is a near-global change of the value distribution.
+
+This generator enforces those properties directly:
+
+- the ring is a *value plateau*: voxels inside the torus sit in a narrow
+  scalar band (Fig. 3 captures the ring "within a small range of data
+  value"), so it forms the narrow histogram peak circled in Fig. 2;
+- distinct scalar populations fill out the histogram the way the real data
+  does: quiescent air (low), trailing turbulence (mid), the ring plateau,
+  and a hot shock front (high) ahead of the ring — the ring's CDF
+  coordinate is therefore interior, not pinned at 1.0;
+- the torus travels down the x axis and expands (post-shock motion and
+  growth, so the peak's *height* changes too);
+- the whole field undergoes a time-dependent affine value drift
+  ``a(t)·field + b(t)`` (a global intensity shift preserves every
+  structure's CDF coordinate, per Sec. 4.2.1's argument);
+- ``masks["ring"]`` marks the ground-truth torus voxels for scoring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import fields
+from repro.utils.rng import as_generator
+from repro.volume.grid import Volume, VolumeSequence
+
+DEFAULT_TIMES = tuple(range(195, 256, 5))  # the Fig. 4 span, 195 … 255
+
+RING_LEVEL = 0.72  # pre-drift plateau value of the ring
+SHOCK_LEVEL = 0.93  # pre-drift value of the shock-front gas
+
+
+def _progress(time: int, times) -> float:
+    t0, t1 = times[0], times[-1]
+    return 0.0 if t1 == t0 else (time - t0) / (t1 - t0)
+
+
+def _smoothstep(x: np.ndarray, lo: float, hi: float) -> np.ndarray:
+    t = np.clip((x - lo) / (hi - lo), 0.0, 1.0)
+    return t * t * (3.0 - 2.0 * t)
+
+
+def make_argon_sequence(
+    shape=(40, 56, 56),
+    times=DEFAULT_TIMES,
+    seed=7,
+    drift_gain: float = 0.9,
+    drift_offset: float = 0.8,
+    turbulence: float = 0.5,
+    ring_minor_sigma: float = 0.075,
+) -> VolumeSequence:
+    """Build the argon-bubble analogue sequence.
+
+    Parameters
+    ----------
+    shape:
+        Grid ``(nz, ny, nx)``.  Default is laptop-scale; benches that need
+        the paper's 256³ pass it explicitly.
+    times:
+        Simulation step ids.  Defaults to 195…255 step 5, covering both the
+        Fig. 4 key frames (195/225/255) and the Fig. 2 span.
+    seed:
+        RNG seed for the turbulence texture and per-step jitter.
+    drift_gain / drift_offset:
+        Controls how strongly the global affine drift reshapes the value
+        range across the sequence (gain shrinks to ``drift_gain``×, offset
+        grows to ``+drift_offset`` of the initial range).
+    turbulence:
+        Peak scalar value of the trailing turbulence texture (pre-drift);
+        keep below :data:`RING_LEVEL` so the ring's histogram band stays
+        distinct, as in the real data.
+    ring_minor_sigma:
+        Base tube thickness of the torus (normalized units).  The default
+        gives the ring a few percent of the volume's histogram mass; small
+        values (e.g. 0.03) make the ring a *tiny* feature, the regime
+        where Sec. 4.2.2's argument against random-voxel training bites.
+    """
+    if not 0.0 <= turbulence < RING_LEVEL:
+        raise ValueError(
+            f"turbulence must be in [0, {RING_LEVEL}) to keep the ring band distinct"
+        )
+    times = list(times)
+    rng = as_generator(seed)
+    grids = fields.coordinate_grids(shape)
+    Z, Y, X = grids
+    noise_static = fields.smooth_noise(shape, seed=rng, sigma=2.5)
+    # Sparse long-tail "mixed gas" population spanning the whole value
+    # range (density decreasing with value).  Real simulation output has
+    # histogram support everywhere; without it the CDF would be flat
+    # across empty value gaps and the cumulative-histogram coordinate
+    # could not distinguish gap values from feature values.
+    noise_halo = fields.smooth_noise(shape, seed=rng, sigma=1.5)
+    halo = 0.9 * noise_halo
+
+    volumes = []
+    for time in times:
+        p = _progress(time, times)
+        # Ring travels +x and expands after the shock passes.
+        center = (0.5, 0.5, 0.25 + 0.45 * p)
+        major_r = 0.18 + 0.08 * p
+        minor_sigma = ring_minor_sigma + 0.015 * p
+        torus = fields.torus_field(grids, center, major_r, minor_sigma, axis=2)
+        ring_core = _smoothstep(torus, 0.50, 0.62)  # plateau membership 0..1
+
+        # Trailing turbulence (upstream of the ring), mid-value band.
+        trail_weight = np.clip((center[2] - X) / 0.35, 0.0, 1.0)
+        turb = turbulence * noise_static * trail_weight
+
+        # Hot shock-front slab ahead of the ring: the high-value population
+        # that keeps the ring's CDF coordinate interior.  The front is wavy
+        # in (z, y) — as real post-shock fronts are — which also keeps the
+        # slab's voxel count varying smoothly as it advances (a perfectly
+        # flat front would snap to whole grid columns and make the CDF
+        # jump by a full column fraction between steps).
+        front_x = center[2] + 0.18 + 0.05 * (noise_static - 0.5)
+        shock = SHOCK_LEVEL * _smoothstep(-np.abs(X - front_x), -0.06, -0.02)
+
+        air = 0.05 + 0.18 * noise_static
+        structure = np.maximum.reduce([
+            air,
+            halo,
+            turb,
+            ring_core * (RING_LEVEL + 0.03 * (noise_static - 0.5)),
+            shock,
+        ])
+        # Small per-step incoherent noise so steps are not affinely exact.
+        jitter = 0.008 * rng.standard_normal(shape).astype(np.float32)
+
+        # Global affine drift: value range shrinks and shifts upward over
+        # time.  Because it is (nearly) monotone and global, cumulative-
+        # histogram coordinates of the ring stay put while its raw value
+        # moves — the Fig. 2 property.  The offset is deliberately
+        # *nonlinear in time* (quadratic), as real shock dynamics are:
+        # a method that merely interpolates value-vs-time between key
+        # frames (linear TF interpolation, or a net without the cumhist
+        # input) misses the ring at intermediate steps, while the
+        # cumulative-histogram coordinate remains exact.
+        gain = 1.0 - (1.0 - drift_gain) * p
+        offset = drift_offset * p * p
+        data = gain * structure + offset + jitter
+
+        ring_mask = torus > 0.66  # strictly inside the full-value plateau
+        volumes.append(
+            Volume(data, time=time, name="argon", masks={"ring": ring_mask})
+        )
+    return VolumeSequence(volumes, name="argon")
+
+
+def ring_value_at(sequence: VolumeSequence, time: int) -> float:
+    """Mean raw scalar value inside the ground-truth ring at step ``time``.
+
+    Convenience for experiments that need "where is the feature in value
+    space right now" (e.g. placing key-frame transfer functions the way the
+    paper's user would by inspecting the histogram).
+    """
+    vol = sequence.at_time(time)
+    mask = vol.mask("ring")
+    if not mask.any():
+        raise ValueError(f"ring mask empty at time {time}")
+    return float(vol.data[mask].mean())
+
+
+def ring_value_band(sequence: VolumeSequence, time: int, pad: float = 0.02) -> tuple[float, float]:
+    """The ring's scalar band ``(lo, hi)`` at ``time``, padded by ``pad``.
+
+    This is what a user reads off the histogram when placing a key-frame
+    tent over the ring peak.
+    """
+    vol = sequence.at_time(time)
+    mask = vol.mask("ring")
+    if not mask.any():
+        raise ValueError(f"ring mask empty at time {time}")
+    vals = vol.data[mask]
+    # Percentiles, not min/max: a few ring voxels are overprinted by the
+    # brighter mixed-gas halo, and a user eyeballing the histogram peak
+    # would bracket the peak's bulk, not its outliers.
+    lo, hi = np.percentile(vals, [2.0, 98.0])
+    return float(lo - pad), float(hi + pad)

@@ -1,0 +1,188 @@
+"""DNS turbulent-combustion analogue: a temporally evolving plane jet.
+
+The paper's Fig. 5 dataset is a Sandia DNS of a *temporally evolving
+turbulent reacting plane jet*: fuel flowing between two counter-flowing air
+streams, whose shear layers roll up into turbulence that distorts the
+mixing layer; each step is 480×720×120, and the rendered variable is
+**vorticity magnitude** whose dynamic range changes so much over the run
+that no single transfer function covers steps 8 through 128.
+
+The analogue builds an actual velocity field and derives |∇×u| from it, so
+the rendered quantity has the same provenance as the paper's:
+
+- base profile ``ux(y) = U(t)·tanh((y - y0)/δ(t))`` — two counter-flowing
+  streams with a shear layer of thickness ``δ`` that *thickens* over time;
+- a growing band-limited perturbation displaces the layer interface
+  (roll-up / flapping), with amplitude increasing in time;
+- jet speed ``U(t)`` ramps up, so the vorticity-magnitude range grows with
+  t — reproducing the "TF tuned at t=8 fails at t=128" behaviour.
+
+``masks["mixing_layer"]`` marks the distorted shear-layer region (defined
+geometrically from the interface displacement, independent of the vorticity
+threshold a TF would use).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import fields
+from repro.utils.rng import as_generator
+from repro.volume.gradient import vorticity_magnitude
+from repro.volume.grid import Volume, VolumeSequence
+
+DEFAULT_TIMES = (8, 36, 64, 92, 128)  # the Fig. 5 columns
+
+
+def _progress(time: int, times) -> float:
+    t0, t1 = times[0], times[-1]
+    return 0.0 if t1 == t0 else (time - t0) / (t1 - t0)
+
+
+def make_combustion_sequence(
+    shape=(24, 72, 48),
+    times=DEFAULT_TIMES,
+    seed=11,
+    speed_growth: float = 3.0,
+    flap_growth: float = 0.14,
+) -> VolumeSequence:
+    """Build the plane-jet analogue; scalar field is vorticity magnitude.
+
+    ``shape`` defaults to a 24×72×48 grid that preserves the paper's
+    480×720×120 aspect of "tall in y" (the cross-stream axis is resolved
+    finest, where the shear layers live).
+
+    ``speed_growth`` is the factor by which the stream speed — and hence
+    the peak vorticity — grows from the first to the last step;
+    ``flap_growth`` is the final interface-displacement amplitude in
+    normalized y units.
+    """
+    times = list(times)
+    rng = as_generator(seed)
+    grids = fields.coordinate_grids(shape)
+    Z, Y, X = grids
+    # Two frozen perturbation textures; their mix shifts over time so the
+    # turbulence pattern evolves coherently rather than re-rolling.
+    pert_a = fields.smooth_noise(shape, seed=rng, sigma=3.0) - 0.5
+    pert_b = fields.smooth_noise(shape, seed=rng, sigma=1.5) - 0.5
+
+    volumes = []
+    for time in times:
+        p = _progress(time, times)
+        speed = 1.0 + (speed_growth - 1.0) * p
+        # Shear-layer thickness grows, but slower than the stream speed:
+        # peak vorticity scales like U/δ, so the vortical core's dynamic
+        # range grows ~2-3x across the run — the property that defeats any
+        # single static transfer function in Fig. 5.
+        delta = 0.035 + 0.015 * p
+        amp = flap_growth * (0.15 + 0.85 * p)  # interface flapping grows
+        # Interface displacement field: smooth in (z, x), evolving mix.
+        displacement = amp * ((1.0 - 0.5 * p) * pert_a + (0.5 + 0.5 * p) * pert_b) * 2.0
+        y_interface_top = 0.65 + displacement
+        y_interface_bot = 0.35 - displacement
+
+        # Velocity: fuel stream in the middle (+x), air streams outside (-x).
+        ux = speed * (
+            np.tanh((Y - y_interface_bot) / delta)
+            - np.tanh((Y - y_interface_top) / delta)
+            - 1.0
+        )
+        # Cross-stream stirring grows with the turbulence.
+        uy = 0.4 * speed * amp / max(flap_growth, 1e-6) * pert_b
+        uz = 0.4 * speed * amp / max(flap_growth, 1e-6) * pert_a
+        velocity = np.stack([uz, uy, ux], axis=0).astype(np.float32)
+        vort = vorticity_magnitude(velocity, spacing=1.0 / shape[1])
+
+        dist_top = np.abs(Y - y_interface_top)
+        dist_bot = np.abs(Y - y_interface_bot)
+        layer = (dist_top < 1.2 * delta) | (dist_bot < 1.2 * delta)
+        # The thin high-vorticity sheet at the interface itself — the
+        # "vortex" the Fig. 5 captions say must be "well extracted over the
+        # whole time sequence".
+        core = (dist_top < 0.6 * delta) | (dist_bot < 0.6 * delta)
+        volumes.append(
+            Volume(
+                vort, time=time, name="combustion",
+                masks={"mixing_layer": layer, "core": core},
+            )
+        )
+    return VolumeSequence(volumes, name="combustion")
+
+
+def make_combustion_multivariate(
+    shape=(24, 72, 48),
+    times=DEFAULT_TIMES,
+    seed=11,
+    speed_growth: float = 3.0,
+    flap_growth: float = 0.14,
+) -> VolumeSequence:
+    """Multivariate variant of the plane jet (paper Secs. 4.2.3 / 8).
+
+    Each step is a :class:`~repro.volume.multivariate.MultiVolume` with
+    three fields — ``vorticity`` (primary), ``temperature`` (the reacting
+    hot spots) and ``ux`` (signed streamwise velocity) — mirroring the real
+    dataset's "multiple variables".  The extra ground-truth mask
+    ``burning_core`` (the vortical interface sheet *where the gas is hot*,
+    i.e. core ∧ temperature > threshold) is a genuinely multivariate
+    target: vorticity finds the sheet but not which parts burn, and
+    temperature finds hot gas everywhere, mostly off the sheet — only the
+    joint signature isolates the burning core.
+    """
+    from repro.volume.multivariate import MultiVolume
+
+    times = list(times)
+    rng = as_generator(seed)
+    grids = fields.coordinate_grids(shape)
+    Z, Y, X = grids
+    pert_a = fields.smooth_noise(shape, seed=rng, sigma=3.0) - 0.5
+    pert_b = fields.smooth_noise(shape, seed=rng, sigma=1.5) - 0.5
+    # Temperature: hot combustion pockets, spatially independent of the
+    # instantaneous vorticity sheet (reaction progress, not shear).
+    heat = fields.smooth_noise(shape, seed=rng, sigma=2.5)
+
+    volumes = []
+    for time in times:
+        p = _progress(time, times)
+        speed = 1.0 + (speed_growth - 1.0) * p
+        delta = 0.035 + 0.015 * p
+        amp = flap_growth * (0.15 + 0.85 * p)
+        displacement = amp * ((1.0 - 0.5 * p) * pert_a + (0.5 + 0.5 * p) * pert_b) * 2.0
+        y_interface_top = 0.65 + displacement
+        y_interface_bot = 0.35 - displacement
+
+        ux = speed * (
+            np.tanh((Y - y_interface_bot) / delta)
+            - np.tanh((Y - y_interface_top) / delta)
+            - 1.0
+        )
+        uy = 0.4 * speed * amp / max(flap_growth, 1e-6) * pert_b
+        uz = 0.4 * speed * amp / max(flap_growth, 1e-6) * pert_a
+        velocity = np.stack([uz, uy, ux], axis=0).astype(np.float32)
+        vort = vorticity_magnitude(velocity, spacing=1.0 / shape[1])
+        # Temperature rises with overall reaction progress over the run.
+        temperature = (300.0 + 1500.0 * (0.3 + 0.7 * p) * heat).astype(np.float32)
+
+        dist_top = np.abs(Y - y_interface_top)
+        dist_bot = np.abs(Y - y_interface_bot)
+        layer = (dist_top < 1.2 * delta) | (dist_bot < 1.2 * delta)
+        core = (dist_top < 0.6 * delta) | (dist_bot < 0.6 * delta)
+        hot = heat > 0.55  # time-invariant membership: the hot pockets
+        burning_core = core & hot
+        volumes.append(
+            MultiVolume(
+                {
+                    "vorticity": vort,
+                    "temperature": temperature,
+                    "ux": ux.astype(np.float32),
+                },
+                primary="vorticity",
+                time=time,
+                name="combustion-mv",
+                masks={
+                    "mixing_layer": layer,
+                    "core": core,
+                    "burning_core": burning_core,
+                },
+            )
+        )
+    return VolumeSequence(volumes, name="combustion-mv")

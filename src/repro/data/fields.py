@@ -1,0 +1,152 @@
+"""Shared procedural-field building blocks for the synthetic datasets.
+
+Everything here is vectorized over the full grid: generators compose these
+primitives instead of looping over voxels.  Coordinates follow the library
+convention — arrays indexed ``[z, y, x]`` with each axis normalized to
+[0, 1] (voxel centers at ``(i + 0.5) / n``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_shape3d
+
+
+def coordinate_grids(shape) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Normalized voxel-center coordinates ``(Z, Y, X)``, each of ``shape``.
+
+    Broadcasting-friendly: returned via ``np.meshgrid(..., indexing="ij")``
+    but materialized (float32) since every consumer uses all three.
+    """
+    nz, ny, nx = check_shape3d("shape", shape)
+    z = (np.arange(nz, dtype=np.float32) + 0.5) / nz
+    y = (np.arange(ny, dtype=np.float32) + 0.5) / ny
+    x = (np.arange(nx, dtype=np.float32) + 0.5) / nx
+    return np.meshgrid(z, y, x, indexing="ij")
+
+
+def gaussian_blob(grids, center, sigma: float) -> np.ndarray:
+    """Isotropic Gaussian bump ``exp(-r² / 2σ²)`` at normalized ``center``."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    Z, Y, X = grids
+    cz, cy, cx = center
+    r2 = (Z - cz) ** 2 + (Y - cy) ** 2 + (X - cx) ** 2
+    return np.exp(-r2 / (2.0 * sigma * sigma)).astype(np.float32)
+
+
+def torus_field(grids, center, major_radius: float, minor_sigma: float, axis: int = 2) -> np.ndarray:
+    """Gaussian shell around a circle — the argon "smoke ring" shape.
+
+    The torus circle lies in the plane perpendicular to ``axis`` (0=z, 1=y,
+    2=x), centered at normalized ``center`` with radius ``major_radius``;
+    field falls off as a Gaussian of ``minor_sigma`` in distance from the
+    circle.
+    """
+    if major_radius <= 0 or minor_sigma <= 0:
+        raise ValueError("major_radius and minor_sigma must be positive")
+    Z, Y, X = grids
+    cz, cy, cx = center
+    dz, dy, dx = Z - cz, Y - cy, X - cx
+    offsets = [dz, dy, dx]
+    along = offsets.pop(axis)  # distance along the torus axis
+    u, v = offsets  # in-plane offsets
+    radial = np.sqrt(u * u + v * v)
+    d2 = (radial - major_radius) ** 2 + along**2
+    return np.exp(-d2 / (2.0 * minor_sigma * minor_sigma)).astype(np.float32)
+
+
+def tube_field(grids, points, radius_sigma: float) -> np.ndarray:
+    """Gaussian tube around a polyline through normalized ``points``.
+
+    Distance to the polyline is the minimum over per-segment point-segment
+    distances, computed vectorized per segment (segment counts are small —
+    tens — so the loop is over segments, never voxels).
+    """
+    points = np.asarray(points, dtype=np.float32)
+    if points.ndim != 2 or points.shape[1] != 3 or len(points) < 2:
+        raise ValueError("points must be an (n >= 2, 3) array of (z, y, x)")
+    if radius_sigma <= 0:
+        raise ValueError(f"radius_sigma must be positive, got {radius_sigma}")
+    Z, Y, X = grids
+    P = np.stack([Z, Y, X], axis=-1)  # (nz, ny, nx, 3)
+    best = np.full(Z.shape, np.inf, dtype=np.float32)
+    for a, b in zip(points[:-1], points[1:]):
+        ab = b - a
+        denom = float(np.dot(ab, ab))
+        if denom == 0.0:
+            d2 = np.sum((P - a) ** 2, axis=-1)
+        else:
+            t = np.clip(np.einsum("...c,c->...", P - a, ab) / denom, 0.0, 1.0)
+            closest = a + t[..., None] * ab
+            d2 = np.sum((P - closest) ** 2, axis=-1)
+        np.minimum(best, d2, out=best)
+    return np.exp(-best / (2.0 * radius_sigma * radius_sigma)).astype(np.float32)
+
+
+def smooth_noise(shape, seed=None, sigma: float = 2.0) -> np.ndarray:
+    """Band-limited noise in [0, 1]: Gaussian-filtered white noise, rescaled.
+
+    Used as turbulence texture and background clutter; ``sigma`` (voxels)
+    controls the correlation length.
+    """
+    shape = check_shape3d("shape", shape)
+    rng = as_generator(seed)
+    field = rng.standard_normal(shape).astype(np.float32)
+    field = ndimage.gaussian_filter(field, sigma=sigma, mode="wrap")
+    lo, hi = float(field.min()), float(field.max())
+    if hi > lo:
+        field = (field - lo) / (hi - lo)
+    else:  # pragma: no cover - degenerate constant field
+        field = np.zeros(shape, dtype=np.float32)
+    return field.astype(np.float32)
+
+
+def scatter_blobs(grids, centers, sigmas, amplitudes=None) -> np.ndarray:
+    """Sum of Gaussian blobs — many tiny features, each evaluated locally.
+
+    ``centers`` is ``(n, 3)`` normalized; ``sigmas`` scalar or length-n;
+    ``amplitudes`` defaults to 1 for every blob.  Additive composition is
+    deliberate: overlapping blobs brighten, like merged density clumps.
+
+    Each blob is computed only inside its ±4σ bounding box (beyond 4σ a
+    Gaussian contributes < 4e-4 of its amplitude), so cost scales with
+    blob volume, not grid volume — hundreds of blobs on a 256³ grid stay
+    cheap.
+    """
+    centers = np.asarray(centers, dtype=np.float32)
+    if centers.ndim != 2 or centers.shape[1] != 3:
+        raise ValueError("centers must be an (n, 3) array")
+    n = len(centers)
+    sigmas = np.broadcast_to(np.asarray(sigmas, dtype=np.float32), (n,))
+    if amplitudes is None:
+        amplitudes = np.ones(n, dtype=np.float32)
+    else:
+        amplitudes = np.broadcast_to(np.asarray(amplitudes, dtype=np.float32), (n,))
+    Z, Y, X = grids
+    shape = Z.shape
+    # axis coordinate vectors (voxel centers, normalized)
+    axes = [
+        (np.arange(shape[0], dtype=np.float32) + 0.5) / shape[0],
+        (np.arange(shape[1], dtype=np.float32) + 0.5) / shape[1],
+        (np.arange(shape[2], dtype=np.float32) + 0.5) / shape[2],
+    ]
+    out = np.zeros(shape, dtype=np.float32)
+    for (cz, cy, cx), sigma, amp in zip(centers, sigmas, amplitudes):
+        sigma = float(sigma)
+        reach = 4.0 * sigma
+        windows = []
+        for axis, c in zip(axes, (cz, cy, cx)):
+            lo = int(np.searchsorted(axis, c - reach, side="left"))
+            hi = int(np.searchsorted(axis, c + reach, side="right"))
+            windows.append((lo, max(hi, lo + 1)))
+        (z0, z1), (y0, y1), (x0, x1) = windows
+        dz = (axes[0][z0:z1] - cz) ** 2
+        dy = (axes[1][y0:y1] - cy) ** 2
+        dx = (axes[2][x0:x1] - cx) ** 2
+        r2 = dz[:, None, None] + dy[None, :, None] + dx[None, None, :]
+        out[z0:z1, y0:y1, x0:x1] += amp * np.exp(-r2 / (2.0 * sigma * sigma))
+    return out

@@ -1,0 +1,82 @@
+"""Swirling-flow analogue: a feature whose data values decay over time.
+
+Fig. 10's point is narrow and sharp: a tracked feature's *values decrease
+with time*, so a **fixed** value-range criterion loses it mid-sequence while
+the **adaptive** (IATF-driven) criterion follows it to the end.
+
+The analogue is a compact swirling structure (a bent Gaussian tube wound
+around a core) whose peak amplitude decays linearly across the sequence
+(default step ids 23/41/62, the Fig. 10 frames, plus intermediate steps for
+tracking continuity).  The background stays fixed, so only the feature
+fades.  ``masks["feature"]`` marks the structure geometrically — it exists
+at every step even when its values have dropped below a fixed threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import fields
+from repro.utils.rng import as_generator
+from repro.volume.grid import Volume, VolumeSequence
+
+DEFAULT_TIMES = (23, 29, 35, 41, 48, 55, 62)  # Fig. 10 frames + in-betweens
+
+
+def _swirl_points(p: float, turns: float = 1.5, n: int = 24) -> np.ndarray:
+    """Helical center line, drifting slowly upward in z with progress."""
+    s = np.linspace(0.0, 1.0, n)
+    angle = 2.0 * np.pi * turns * s
+    radius = 0.12 + 0.06 * s
+    z = 0.3 + 0.4 * s + 0.05 * p
+    y = 0.5 + radius * np.sin(angle)
+    x = 0.5 + radius * np.cos(angle)
+    return np.stack([z, y, x], axis=1).astype(np.float32)
+
+
+def make_swirl_sequence(
+    shape=(44, 44, 44),
+    times=DEFAULT_TIMES,
+    seed=43,
+    peak_start: float = 0.95,
+    peak_end: float = 0.40,
+    background: float = 0.18,
+) -> VolumeSequence:
+    """Build the fading-swirl sequence.
+
+    The feature's peak value decays linearly from ``peak_start`` at the
+    first step to ``peak_end`` at the last.  A fixed tracking criterion set
+    around ``peak_start`` therefore fails once the peak drops below it
+    (about two-thirds through with the defaults), which is the Fig. 10
+    failure the adaptive criterion avoids.
+    """
+    if not peak_start > peak_end > background:
+        raise ValueError(
+            "expected peak_start > peak_end > background, got "
+            f"{peak_start}, {peak_end}, {background}"
+        )
+    times = list(times)
+    rng = as_generator(seed)
+    grids = fields.coordinate_grids(shape)
+    noise = fields.smooth_noise(shape, seed=rng, sigma=2.5)
+    t0, t1 = times[0], times[-1]
+
+    volumes = []
+    for time in times:
+        p = 0.0 if t1 == t0 else (time - t0) / (t1 - t0)
+        peak = peak_start + (peak_end - peak_start) * p
+        tube = fields.tube_field(grids, _swirl_points(p), radius_sigma=0.045)
+        data = np.maximum(peak * tube, background * noise)
+        volumes.append(
+            Volume(data, time=time, name="swirl", masks={"feature": tube > 0.5})
+        )
+    return VolumeSequence(volumes, name="swirl")
+
+
+def feature_peak_at(sequence: VolumeSequence, time: int) -> float:
+    """Peak scalar value inside the ground-truth feature at step ``time``."""
+    vol = sequence.at_time(time)
+    mask = vol.mask("feature")
+    if not mask.any():
+        raise ValueError(f"feature mask empty at time {time}")
+    return float(vol.data[mask].max())

@@ -1,0 +1,20 @@
+"""Simulated interactive visualization interface (paper Sec. 6 / Fig. 11).
+
+The paper's UI lets a scientist paint strokes on three axis-aligned slices,
+trains the network in the idle loop, and shows per-slice / whole-volume
+classification feedback for iterative refinement.  Headless equivalents:
+
+- :mod:`repro.interface.painting` — :class:`PaintStroke`: a brush disk on a
+  slice; resolves to labeled voxel coordinates.
+- :mod:`repro.interface.oracle` — a scripted "scientist" that paints from
+  ground-truth masks with controllable label noise, reproducing the sparse,
+  slice-local, iterative interaction pattern without a display.
+- :mod:`repro.interface.session` — :class:`InteractiveSession`: the
+  paint → idle-train → feedback → refine loop, with quality history.
+"""
+
+from repro.interface.oracle import Oracle
+from repro.interface.painting import PaintStroke
+from repro.interface.session import InteractiveSession
+
+__all__ = ["InteractiveSession", "Oracle", "PaintStroke"]

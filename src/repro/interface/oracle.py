@@ -1,0 +1,145 @@
+"""Scripted scientist: paints strokes from ground truth.
+
+The original system needed a human; our datasets carry ground-truth masks,
+so an :class:`Oracle` reproduces the interaction pattern mechanically —
+sparse brush dabs on information-rich slices, a few positive and negative
+strokes per round, optional label noise (humans mis-paint near feature
+boundaries) — which makes interface-driven experiments (Figs. 7, 8, 11)
+deterministic and repeatable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interface.painting import PaintStroke
+from repro.utils.rng import as_generator
+from repro.volume.grid import Volume
+
+
+class Oracle:
+    """Ground-truth-driven painter.
+
+    Parameters
+    ----------
+    positive_mask_name / negative_mask_name:
+        Which of the volume's ground-truth masks the oracle treats as the
+        feature of interest / as unwanted material.  When
+        ``negative_mask_name`` is ``None`` the oracle paints negatives on
+        background (neither positive nor any named mask).
+    brush_radius:
+        Brush size in voxels.
+    mislabel_rate:
+        Probability that a stroke is painted with the *wrong* label —
+        simulating imprecise human painting.
+    seed:
+        RNG; strokes are deterministic given a seed.
+    """
+
+    def __init__(self, positive_mask_name: str, negative_mask_name: str | None = None,
+                 brush_radius: int = 1, mislabel_rate: float = 0.0, seed=0) -> None:
+        if not 0.0 <= mislabel_rate <= 1.0:
+            raise ValueError(f"mislabel_rate must be in [0, 1], got {mislabel_rate}")
+        if brush_radius < 0:
+            raise ValueError(f"brush_radius must be non-negative, got {brush_radius}")
+        self.positive_mask_name = positive_mask_name
+        self.negative_mask_name = negative_mask_name
+        self.brush_radius = int(brush_radius)
+        self.mislabel_rate = float(mislabel_rate)
+        self._rng = as_generator(seed)
+
+    def _negative_region(self, volume: Volume) -> np.ndarray:
+        if self.negative_mask_name is not None:
+            return volume.mask(self.negative_mask_name)
+        region = ~volume.mask(self.positive_mask_name)
+        for name in volume.masks:
+            if name != self.positive_mask_name:
+                region &= ~volume.mask(name)
+        return region
+
+    def _pick_slice(self, region: np.ndarray, axis: int) -> int:
+        """Choose an information-rich slice: sample proportionally to the
+        per-slice voxel count of the target region."""
+        counts = region.sum(axis=tuple(a for a in range(3) if a != axis)).astype(np.float64)
+        total = counts.sum()
+        if total == 0:
+            raise ValueError("target region is empty; nothing to paint")
+        return int(self._rng.choice(len(counts), p=counts / total))
+
+    def _stroke_in_region(self, region: np.ndarray, label: float) -> PaintStroke | None:
+        axis = int(self._rng.integers(0, 3))
+        try:
+            index = self._pick_slice(region, axis)
+        except ValueError:
+            return None
+        slicer: list = [slice(None)] * 3
+        slicer[axis] = index
+        plane = region[tuple(slicer)]
+        candidates = np.argwhere(plane)
+        if len(candidates) == 0:  # pragma: no cover - slice picked by count > 0
+            return None
+        row, col = candidates[self._rng.integers(0, len(candidates))]
+        if self._rng.random() < self.mislabel_rate:
+            label = 1.0 - label
+        return PaintStroke(
+            axis=axis, index=index, center=(int(row), int(col)),
+            radius=self.brush_radius, label=label,
+        )
+
+    def paint_round(self, volume: Volume, n_positive: int = 4, n_negative: int = 4) -> list[PaintStroke]:
+        """One interaction round: a few positive and negative strokes.
+
+        Mirrors the paper's usage — *"the user only needs to specify a few
+        sample data of different classes"*.
+        """
+        positive_region = volume.mask(self.positive_mask_name)
+        negative_region = self._negative_region(volume)
+        strokes: list[PaintStroke] = []
+        for _ in range(int(n_positive)):
+            s = self._stroke_in_region(positive_region, 1.0)
+            if s is not None:
+                strokes.append(s)
+        for _ in range(int(n_negative)):
+            s = self._stroke_in_region(negative_region, 0.0)
+            if s is not None:
+                strokes.append(s)
+        return strokes
+
+    def corrective_round(self, volume: Volume, certainty: np.ndarray,
+                         n_strokes: int = 4, threshold: float = 0.5,
+                         margin: float = 0.2) -> list[PaintStroke]:
+        """Refinement round: paint where the current classification is wrong.
+
+        This is the feedback loop of Sec. 6 — the user inspects the
+        intermediate result and adds training data where it disagrees with
+        their intent (false positives get negative strokes, misses get
+        positive strokes).  Only *confidently* wrong voxels (further than
+        ``margin`` past the threshold) are corrected: a human eyeballing a
+        slice reacts to clear mistakes, not to dim boundary voxels whose
+        membership is genuinely ambiguous — and hard labels on those would
+        just inject contradictions into the training set.
+        """
+        certainty = np.asarray(certainty)
+        positive = volume.mask(self.positive_mask_name)
+        false_pos = (certainty > threshold + margin) & self._negative_region(volume)
+        false_neg = (certainty < threshold - margin) & positive
+        strokes: list[PaintStroke] = []
+        # Alternate between the two error sets so a round never floods the
+        # training set with a single class (which would make the next
+        # round's classifier flip wholesale instead of refining).
+        want_fp = false_pos.sum() >= false_neg.sum()
+        for _ in range(int(n_strokes)):
+            s = None
+            if want_fp and false_pos.any():
+                s = self._stroke_in_region(false_pos, 0.0)
+            elif not want_fp and false_neg.any():
+                s = self._stroke_in_region(false_neg, 1.0)
+            elif false_pos.any():
+                s = self._stroke_in_region(false_pos, 0.0)
+            elif false_neg.any():
+                s = self._stroke_in_region(false_neg, 1.0)
+            if s is not None:
+                strokes.append(s)
+            if false_pos.any() and false_neg.any():
+                want_fp = not want_fp
+        return strokes

@@ -1,0 +1,105 @@
+"""Painting metaphor: brush strokes on axis-aligned slices.
+
+*"Using a painting metaphor, the scientist specifies a feature of interest
+by marking directly on the 2D or 3D images of the data"* (Sec. 1).  A
+:class:`PaintStroke` is one circular brush dab on one slice; it resolves to
+the 3D voxel coordinates it covers, which the session feeds to the
+learning engine with the stroke's class label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PaintStroke:
+    """One brush dab.
+
+    Parameters
+    ----------
+    axis, index:
+        The slice painted on (axis 0=z, 1=y, 2=x; ``index`` along it).
+    center:
+        In-plane (row, col) brush center, in the slice's own 2D coords
+        (rows = the lower remaining axis, cols = the higher one).
+    radius:
+        Brush radius in voxels (0 paints a single voxel).
+    label:
+        ``1.0`` marks the feature of interest, ``0.0`` unwanted material —
+        "brushes of different color" in the paper's UI.
+    """
+
+    axis: int
+    index: int
+    center: tuple
+    radius: int
+    label: float
+
+    def __post_init__(self) -> None:
+        if self.axis not in (0, 1, 2):
+            raise ValueError(f"axis must be 0, 1 or 2, got {self.axis}")
+        if self.radius < 0:
+            raise ValueError(f"radius must be non-negative, got {self.radius}")
+        if not 0.0 <= self.label <= 1.0:
+            raise ValueError(f"label must be in [0, 1], got {self.label}")
+
+    def voxels(self, shape) -> np.ndarray:
+        """Resolve to ``(n, 3)`` voxel coordinates within ``shape``.
+
+        The brush is a filled disk in the slice plane, clipped to the
+        volume bounds.
+        """
+        shape = tuple(int(s) for s in shape)
+        if len(shape) != 3:
+            raise ValueError(f"shape must be 3D, got {shape}")
+        if not 0 <= self.index < shape[self.axis]:
+            raise IndexError(f"slice index {self.index} out of range on axis {self.axis}")
+        other = [a for a in range(3) if a != self.axis]
+        n0, n1 = shape[other[0]], shape[other[1]]
+        c0, c1 = self.center
+        r = self.radius
+        lo0, hi0 = max(0, int(np.floor(c0 - r))), min(n0 - 1, int(np.ceil(c0 + r)))
+        lo1, hi1 = max(0, int(np.floor(c1 - r))), min(n1 - 1, int(np.ceil(c1 + r)))
+        if lo0 > hi0 or lo1 > hi1:
+            return np.empty((0, 3), dtype=np.int64)
+        g0, g1 = np.meshgrid(
+            np.arange(lo0, hi0 + 1), np.arange(lo1, hi1 + 1), indexing="ij"
+        )
+        inside = (g0 - c0) ** 2 + (g1 - c1) ** 2 <= r * r + 1e-9
+        p0 = g0[inside]
+        p1 = g1[inside]
+        coords = np.empty((len(p0), 3), dtype=np.int64)
+        coords[:, self.axis] = self.index
+        coords[:, other[0]] = p0
+        coords[:, other[1]] = p1
+        return coords
+
+    def mask(self, shape) -> np.ndarray:
+        """Boolean volume mask of the painted voxels."""
+        out = np.zeros(shape, dtype=bool)
+        coords = self.voxels(shape)
+        if len(coords):
+            out[tuple(coords.T)] = True
+        return out
+
+
+def strokes_to_masks(strokes, shape) -> tuple[np.ndarray, np.ndarray]:
+    """Combine strokes into ``(positive_mask, negative_mask)``.
+
+    Later strokes win on overlap (the user repaints to correct), with
+    labels ≥ 0.5 counting as positive.
+    """
+    positive = np.zeros(shape, dtype=bool)
+    negative = np.zeros(shape, dtype=bool)
+    for stroke in strokes:
+        m = stroke.mask(shape)
+        if stroke.label >= 0.5:
+            positive |= m
+            negative &= ~m
+        else:
+            negative |= m
+            positive &= ~m
+    return positive, negative

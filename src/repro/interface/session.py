@@ -1,0 +1,228 @@
+"""Interactive session: the paint → train → feedback → refine loop (Sec. 6).
+
+:class:`InteractiveSession` glues the painting metaphor, the data-space
+classifier, and the slice feedback views together the way the paper's UI
+does: strokes accumulate training data, training proceeds in idle-loop
+increments, and classification previews (slice or whole volume) are
+available at any point for the user (or the :class:`Oracle`) to react to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataspace import DataSpaceClassifier
+from repro.interface.oracle import Oracle
+from repro.interface.painting import PaintStroke
+from repro.render.slicer import classification_overlay
+from repro.volume.grid import Volume
+
+
+@dataclass
+class RoundRecord:
+    """Bookkeeping for one interaction round."""
+
+    round_index: int
+    strokes_added: int
+    samples_added: int
+    training_loss: float
+    accuracy: float | None
+
+
+class InteractiveSession:
+    """A headless stand-in for the Fig. 11 interface.
+
+    Parameters
+    ----------
+    volume:
+        The time step being painted on (more can be added with
+        :meth:`add_volume` — the paper trains across a few steps so the
+        classifier adapts over time).
+    classifier:
+        The learning engine; a default one is built when omitted.
+    idle_epochs:
+        Training epochs run per idle-loop call — small, so the "UI" stays
+        responsive and the user sees the classification sharpen over
+        rounds.
+    """
+
+    def __init__(self, volume: Volume, classifier: DataSpaceClassifier | None = None,
+                 idle_epochs: int = 40) -> None:
+        if idle_epochs < 1:
+            raise ValueError(f"idle_epochs must be >= 1, got {idle_epochs}")
+        self.volumes: list[Volume] = [volume]
+        self.classifier = classifier if classifier is not None else DataSpaceClassifier()
+        self.idle_epochs = int(idle_epochs)
+        self.strokes: list[PaintStroke] = []
+        self.history: list[RoundRecord] = []
+
+    @property
+    def volume(self) -> Volume:
+        """The most recently added volume (the active canvas)."""
+        return self.volumes[-1]
+
+    def add_volume(self, volume: Volume) -> None:
+        """Switch the canvas to another time step (training data persists)."""
+        self.volumes.append(volume)
+
+    # ------------------------------------------------------------------ #
+    # Painting
+    # ------------------------------------------------------------------ #
+    def paint(self, stroke: PaintStroke, volume: Volume | None = None) -> int:
+        """Apply one stroke: resolve voxels, add training samples.
+
+        Returns the number of voxel samples added.
+        """
+        volume = volume or self.volume
+        coords = stroke.voxels(volume.shape)
+        if len(coords) == 0:
+            return 0
+        mask = np.zeros(volume.shape, dtype=bool)
+        mask[tuple(coords.T)] = True
+        if stroke.label >= 0.5:
+            added = self.classifier.add_examples(volume, positive_mask=mask)
+        else:
+            added = self.classifier.add_examples(volume, negative_mask=mask)
+        self.strokes.append(stroke)
+        return added
+
+    def paint_many(self, strokes, volume: Volume | None = None) -> int:
+        """Apply a list of strokes; returns total samples added."""
+        return sum(self.paint(s, volume=volume) for s in strokes)
+
+    # ------------------------------------------------------------------ #
+    # Training & feedback
+    # ------------------------------------------------------------------ #
+    def idle_train(self) -> float:
+        """One idle-loop training slice; returns the current loss."""
+        return self.classifier.train_increment(epochs=self.idle_epochs)
+
+    def preview_slice(self, axis: int, index: int, volume: Volume | None = None) -> np.ndarray:
+        """Real-time per-slice classification (the fast feedback path)."""
+        volume = volume or self.volume
+        return self.classifier.classify_slice(volume, axis, index)
+
+    def preview_volume(self, volume: Volume | None = None) -> np.ndarray:
+        """Whole-volume classification (the slower feedback path)."""
+        volume = volume or self.volume
+        return self.classifier.classify(volume)
+
+    def overlay_image(self, axis: int, index: int, volume: Volume | None = None):
+        """Slice view with the live classification tinted on top —
+        what the interface windows in Fig. 11 display."""
+        volume = volume or self.volume
+        cert_plane = self.preview_slice(axis, index, volume=volume)
+        certainty = np.zeros(volume.shape, dtype=np.float32)
+        slicer: list = [slice(None)] * 3
+        slicer[axis] = index
+        certainty[tuple(slicer)] = cert_plane
+        return classification_overlay(volume, certainty, axis, index)
+
+    # ------------------------------------------------------------------ #
+    # Scripted refinement (the Fig. 11 experiment driver)
+    # ------------------------------------------------------------------ #
+    def run_with_oracle(self, oracle: Oracle, rounds: int = 4,
+                        strokes_per_round: int = 8,
+                        truth_mask_name: str | None = None) -> list[RoundRecord]:
+        """Run the full interaction loop with a scripted scientist.
+
+        Round 0 paints blind (a few positive/negative dabs); later rounds
+        are corrective, painting where the current classification disagrees
+        with the oracle's intent.  When ``truth_mask_name`` is given, each
+        round records voxel accuracy against that mask so the Fig. 11 bench
+        can plot quality vs interaction effort.
+        """
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        from repro.metrics import classification_accuracy
+
+        for r in range(int(rounds)):
+            if r == 0:
+                strokes = oracle.paint_round(
+                    self.volume,
+                    n_positive=strokes_per_round // 2,
+                    n_negative=strokes_per_round - strokes_per_round // 2,
+                )
+            else:
+                certainty = self.preview_volume()
+                strokes = oracle.corrective_round(
+                    self.volume, certainty, n_strokes=strokes_per_round
+                )
+            samples = self.paint_many(strokes)
+            loss = self.idle_train()
+            accuracy = None
+            if truth_mask_name is not None:
+                certainty = self.preview_volume()
+                accuracy = classification_accuracy(
+                    certainty, self.volume.mask(truth_mask_name)
+                )
+            self.history.append(
+                RoundRecord(
+                    round_index=r,
+                    strokes_added=len(strokes),
+                    samples_added=samples,
+                    training_loss=loss,
+                    accuracy=accuracy,
+                )
+            )
+        return self.history
+
+
+def suggest_paint_locations(classifier, volume, n: int = 5,
+                            min_separation: int = 4, seed=0) -> np.ndarray:
+    """Suggest where painting next would teach the classifier most.
+
+    Uncertainty sampling over the current classification: voxels whose
+    certainty is closest to 0.5 are the ones whose labels the network
+    cannot predict — one stroke there resolves more ambiguity than a
+    stroke on a confidently-classified region.  Suggestions are spread at
+    least ``min_separation`` voxels apart so a round of strokes covers
+    several ambiguous areas instead of one.
+
+    Returns ``(n, 3)`` voxel coordinates (possibly fewer when the volume
+    has fewer ambiguous regions).  This closes the Sec. 6 loop from the
+    system's side: instead of the scientist hunting for mistakes, the
+    "intelligent" system points at its own blind spots.
+    """
+    from repro.utils.rng import as_generator
+
+    certainty = classifier.classify(volume)
+    ambiguity = -np.abs(certainty.astype(np.float64) - 0.5)
+    flat_order = np.argsort(ambiguity.ravel())[::-1]
+    rng = as_generator(seed)
+    # Small deterministic shuffle among equal-ambiguity voxels.
+    coords_all = np.stack(np.unravel_index(flat_order[: max(50 * n, 500)],
+                                           certainty.shape), axis=1)
+    rng.shuffle(coords_all[: 10 * n])
+    chosen: list[np.ndarray] = []
+    for c in coords_all:
+        if len(chosen) >= n:
+            break
+        if all(np.abs(c - p).max() >= min_separation for p in chosen):
+            chosen.append(c)
+    return np.asarray(chosen, dtype=np.int64).reshape(-1, 3)
+
+
+def select_feature_at(classifier, volume, point, threshold: float = 0.5):
+    """Select the whole connected feature containing a clicked voxel.
+
+    Sec. 6: *"the system also allows the user to select small features from
+    the window of feature volume, and consider the selected regions as part
+    of the unwanted feature"* — one click marks an entire (connected)
+    feature instead of painting it voxel by voxel.  The current
+    classification provides the membership criterion; region growing from
+    the clicked voxel returns the feature's full mask, which the caller
+    feeds back as positive or negative training data.
+
+    Returns a boolean mask (empty if the clicked voxel is below threshold).
+    """
+    from repro.segmentation.regiongrow import grow_region
+
+    certainty = classifier.classify(volume)
+    criterion = certainty > threshold
+    point = tuple(int(c) for c in point)
+    if not criterion[point]:
+        return np.zeros(volume.shape, dtype=bool)
+    return grow_region(criterion, [point])

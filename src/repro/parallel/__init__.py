@@ -1,0 +1,28 @@
+"""Parallel and out-of-core execution substrate.
+
+The paper's large-data story has two halves this package reproduces:
+
+- *"the processing of each time step is completely independent of other
+  time steps, it is feasible and desirable to employ a large PC cluster"*
+  (Sec. 8) — :mod:`repro.parallel.executor` is that per-timestep task farm,
+  over ``multiprocessing`` with a deterministic serial fallback.
+- *"when the volume size is large … not all the data can fit in core"*
+  (Sec. 4.2.2) — :mod:`repro.parallel.bricking` decomposes volumes into
+  ghost-padded bricks for streaming.
+"""
+
+from repro.parallel.bricking import Brick, assemble_bricks, iter_bricks, split_bricks
+from repro.parallel.executor import TimestepExecutor, map_timesteps
+from repro.parallel.streaming import sequence_step_stems, stream_map, stream_map_parallel
+
+__all__ = [
+    "Brick",
+    "TimestepExecutor",
+    "assemble_bricks",
+    "iter_bricks",
+    "map_timesteps",
+    "sequence_step_stems",
+    "split_bricks",
+    "stream_map",
+    "stream_map_parallel",
+]

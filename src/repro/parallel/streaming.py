@@ -1,0 +1,73 @@
+"""Streaming out-of-core sequence processing (paper Secs. 4.2.3, 8).
+
+The paper's deployment story for very long runs: the trained artifact is
+tiny, each time step is independent, and steps live on disk — so workers
+should *load, process, and drop* one step at a time instead of holding the
+sequence in memory.  These helpers run a per-step function over a saved
+sequence directory that way:
+
+- :func:`stream_map` — serial streaming map (peak memory ≈ one step);
+- :func:`stream_map_parallel` — process-pool variant where each worker
+  loads its own step from disk (nothing but the artifact and the step path
+  crosses the process boundary, matching the cluster pattern where nodes
+  read their own bricks).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.parallel.executor import map_timesteps
+from repro.volume.io import load_volume
+
+
+def sequence_step_stems(directory) -> list[tuple[int, Path]]:
+    """``(time, stem)`` pairs for every step of a saved sequence."""
+    directory = Path(directory)
+    manifest = json.loads((directory / "sequence.json").read_text())
+    return [
+        (int(time), directory / stem)
+        for stem, time in zip(manifest["steps"], manifest["times"])
+    ]
+
+
+def stream_map(fn, directory, times=None, mmap: bool = False):
+    """Serial streaming map: yield ``(time, fn(volume))`` per step.
+
+    Only one step's voxels are resident at a time; results are yielded as
+    they are produced so callers can also stream their consumption.
+    """
+    wanted = set(int(t) for t in times) if times is not None else None
+    for time, stem in sequence_step_stems(directory):
+        if wanted is not None and time not in wanted:
+            continue
+        volume = load_volume(stem, mmap=mmap)
+        yield time, fn(volume)
+
+
+def _stream_worker(payload):
+    fn, stem = payload
+    return fn(load_volume(stem))
+
+
+def stream_map_parallel(fn, directory, times=None, workers: int | None = None,
+                        backend: str = "auto") -> list[tuple[int, object]]:
+    """Process-pool streaming map over a saved sequence.
+
+    ``fn`` must be picklable; each worker loads its own step from disk, so
+    the parent never materializes the sequence.  Results return in step
+    order as ``(time, result)`` pairs.
+    """
+    wanted = set(int(t) for t in times) if times is not None else None
+    items = [
+        (fn, stem)
+        for time, stem in sequence_step_stems(directory)
+        if wanted is None or time in wanted
+    ]
+    kept_times = [
+        time for time, _ in sequence_step_stems(directory)
+        if wanted is None or time in wanted
+    ]
+    outcome = map_timesteps(_stream_worker, items, workers=workers, backend=backend)
+    return list(zip(kept_times, outcome.results))

@@ -1,0 +1,84 @@
+"""RGBA image buffer with PPM/PGM export.
+
+Images are ``(height, width, 4)`` float32 arrays with premultiplied-alpha
+semantics during compositing and straight RGB on export.  PPM (P6) needs no
+external imaging library — results stay inspectable with any viewer while
+the repository remains dependency-light.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+
+class Image:
+    """A float32 RGBA raster.
+
+    Parameters
+    ----------
+    height, width:
+        Raster size in pixels.
+    background:
+        RGB background blended under the rendered result on export.
+    """
+
+    def __init__(self, height: int, width: int, background=(0.0, 0.0, 0.0)) -> None:
+        if height <= 0 or width <= 0:
+            raise ValueError(f"image size must be positive, got {height}x{width}")
+        self.pixels = np.zeros((height, width, 4), dtype=np.float32)
+        self.background = np.asarray(background, dtype=np.float32)
+        if self.background.shape != (3,):
+            raise ValueError("background must be an RGB triple")
+
+    @classmethod
+    def from_array(cls, rgba: np.ndarray, background=(0.0, 0.0, 0.0)) -> "Image":
+        """Wrap an existing ``(h, w, 4)`` array (copied)."""
+        rgba = np.asarray(rgba, dtype=np.float32)
+        if rgba.ndim != 3 or rgba.shape[2] != 4:
+            raise ValueError(f"expected (h, w, 4) array, got {rgba.shape}")
+        img = cls(rgba.shape[0], rgba.shape[1], background=background)
+        img.pixels[...] = rgba
+        return img
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(height, width)``."""
+        return self.pixels.shape[:2]
+
+    def composited(self) -> np.ndarray:
+        """RGB with the background blended under the premultiplied pixels."""
+        rgb = self.pixels[..., :3] + (1.0 - self.pixels[..., 3:4]) * self.background
+        return np.clip(rgb, 0.0, 1.0)
+
+    def coverage(self) -> float:
+        """Fraction of pixels with any accumulated opacity — a cheap
+        "did anything render" check used by tests and benches."""
+        return float(np.count_nonzero(self.pixels[..., 3] > 1e-4)) / (
+            self.pixels.shape[0] * self.pixels.shape[1]
+        )
+
+    def save_ppm(self, path) -> Path:
+        """Write binary PPM (P6); returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        rgb8 = (self.composited() * 255.0 + 0.5).astype(np.uint8)
+        header = f"P6\n{rgb8.shape[1]} {rgb8.shape[0]}\n255\n".encode("ascii")
+        path.write_bytes(header + rgb8.tobytes())
+        return path
+
+
+def save_pgm(array2d: np.ndarray, path) -> Path:
+    """Write a 2D float array (rescaled to its own range) as binary PGM."""
+    array2d = np.asarray(array2d, dtype=np.float64)
+    if array2d.ndim != 2:
+        raise ValueError(f"expected 2D array, got ndim={array2d.ndim}")
+    lo, hi = float(array2d.min()), float(array2d.max())
+    norm = (array2d - lo) / (hi - lo) if hi > lo else np.zeros_like(array2d)
+    gray8 = (norm * 255.0 + 0.5).astype(np.uint8)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = f"P5\n{gray8.shape[1]} {gray8.shape[0]}\n255\n".encode("ascii")
+    path.write_bytes(header + gray8.tobytes())
+    return path

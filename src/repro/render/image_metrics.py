@@ -1,0 +1,85 @@
+"""Image-space comparison metrics for rendered frames.
+
+The paper's evaluation is ultimately *images* (Figs. 3–10), and its Sec. 8
+validation agenda points at visualization itself.  These metrics let
+experiments compare rendered frames directly — e.g. "the IATF's mid-step
+frame is closer to the ground-truth-feature render than the interpolated
+TF's" — complementing the mask-space scores in :mod:`repro.metrics`:
+
+- :func:`mse` / :func:`psnr` — pixelwise fidelity;
+- :func:`ssim` — mean structural similarity (single-scale, Gaussian
+  windows, the standard Wang et al. formulation) for perceptual structure;
+- :func:`image_difference` — a visual diff image for inspection.
+
+All functions accept :class:`~repro.render.image.Image` objects or raw
+RGB arrays in [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.render.image import Image
+
+
+def _as_rgb(image) -> np.ndarray:
+    if isinstance(image, Image):
+        return image.composited().astype(np.float64)
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim == 2:
+        arr = np.stack([arr] * 3, axis=-1)
+    if arr.ndim != 3 or arr.shape[2] not in (3, 4):
+        raise ValueError(f"expected (h, w, 3|4) image, got {arr.shape}")
+    return arr[..., :3]
+
+
+def _check_pair(a, b) -> tuple[np.ndarray, np.ndarray]:
+    ia, ib = _as_rgb(a), _as_rgb(b)
+    if ia.shape != ib.shape:
+        raise ValueError(f"image shapes differ: {ia.shape} vs {ib.shape}")
+    return ia, ib
+
+
+def mse(a, b) -> float:
+    """Mean squared error over RGB pixels (images in [0, 1])."""
+    ia, ib = _check_pair(a, b)
+    return float(np.mean((ia - ib) ** 2))
+
+
+def psnr(a, b) -> float:
+    """Peak signal-to-noise ratio in dB (∞ for identical images)."""
+    err = mse(a, b)
+    if err == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(1.0 / err))
+
+
+def ssim(a, b, sigma: float = 1.5, k1: float = 0.01, k2: float = 0.03) -> float:
+    """Mean structural similarity index (single-scale, luminance of RGB).
+
+    Gaussian-window means/variances/covariance per Wang et al. (2004);
+    returns the mean SSIM map value in [-1, 1] (1 = identical structure).
+    """
+    ia, ib = _check_pair(a, b)
+    # luminance
+    la = ia.mean(axis=-1)
+    lb = ib.mean(axis=-1)
+    c1 = (k1 * 1.0) ** 2
+    c2 = (k2 * 1.0) ** 2
+    mu_a = ndimage.gaussian_filter(la, sigma)
+    mu_b = ndimage.gaussian_filter(lb, sigma)
+    var_a = ndimage.gaussian_filter(la * la, sigma) - mu_a**2
+    var_b = ndimage.gaussian_filter(lb * lb, sigma) - mu_b**2
+    cov = ndimage.gaussian_filter(la * lb, sigma) - mu_a * mu_b
+    num = (2 * mu_a * mu_b + c1) * (2 * cov + c2)
+    den = (mu_a**2 + mu_b**2 + c1) * (var_a + var_b + c2)
+    return float(np.mean(num / den))
+
+
+def image_difference(a, b, gain: float = 1.0) -> Image:
+    """Absolute per-pixel difference as an inspectable image."""
+    ia, ib = _check_pair(a, b)
+    diff = np.clip(np.abs(ia - ib) * gain, 0.0, 1.0).astype(np.float32)
+    rgba = np.concatenate([diff, np.ones_like(diff[..., :1])], axis=-1)
+    return Image.from_array(rgba, background=(0, 0, 0))

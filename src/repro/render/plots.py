@@ -1,0 +1,220 @@
+"""Tiny dependency-free chart rasterizer.
+
+The paper's figures are image artifacts; the benchmarks regenerate their
+*data* as tables.  This module closes the loop by rasterizing those series
+into PPM images (line and bar charts with axes, ticks, legends, and a
+built-in 5×7 bitmap font), using only numpy and the repository's own
+:class:`~repro.render.image.Image` — no matplotlib, per the offline
+dependency budget.
+
+Intended for the example scripts and benches: ``line_chart({...}).save_ppm``
+next to the rendered volumes, so a reproduction run leaves behind viewable
+versions of Figs. 2/4/10-style series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.render.image import Image
+
+# 5x7 bitmap font: digits, uppercase, and the symbols charts need.
+_FONT = {
+    "0": "01110 10001 10011 10101 11001 10001 01110",
+    "1": "00100 01100 00100 00100 00100 00100 01110",
+    "2": "01110 10001 00001 00010 00100 01000 11111",
+    "3": "01110 10001 00001 00110 00001 10001 01110",
+    "4": "00010 00110 01010 10010 11111 00010 00010",
+    "5": "11111 10000 11110 00001 00001 10001 01110",
+    "6": "01110 10000 11110 10001 10001 10001 01110",
+    "7": "11111 00001 00010 00100 01000 01000 01000",
+    "8": "01110 10001 10001 01110 10001 10001 01110",
+    "9": "01110 10001 10001 01111 00001 00001 01110",
+    ".": "00000 00000 00000 00000 00000 00100 00100",
+    "-": "00000 00000 00000 01110 00000 00000 00000",
+    "+": "00000 00100 00100 11111 00100 00100 00000",
+    ":": "00000 00100 00000 00000 00000 00100 00000",
+    "%": "11000 11001 00010 00100 01000 10011 00011",
+    "/": "00001 00010 00010 00100 01000 01000 10000",
+    "=": "00000 00000 11111 00000 11111 00000 00000",
+    " ": "00000 00000 00000 00000 00000 00000 00000",
+    "_": "00000 00000 00000 00000 00000 00000 11111",
+    "A": "01110 10001 10001 11111 10001 10001 10001",
+    "B": "11110 10001 10001 11110 10001 10001 11110",
+    "C": "01110 10001 10000 10000 10000 10001 01110",
+    "D": "11110 10001 10001 10001 10001 10001 11110",
+    "E": "11111 10000 10000 11110 10000 10000 11111",
+    "F": "11111 10000 10000 11110 10000 10000 10000",
+    "G": "01110 10001 10000 10111 10001 10001 01110",
+    "H": "10001 10001 10001 11111 10001 10001 10001",
+    "I": "01110 00100 00100 00100 00100 00100 01110",
+    "J": "00111 00010 00010 00010 00010 10010 01100",
+    "K": "10001 10010 10100 11000 10100 10010 10001",
+    "L": "10000 10000 10000 10000 10000 10000 11111",
+    "M": "10001 11011 10101 10101 10001 10001 10001",
+    "N": "10001 11001 10101 10011 10001 10001 10001",
+    "O": "01110 10001 10001 10001 10001 10001 01110",
+    "P": "11110 10001 10001 11110 10000 10000 10000",
+    "Q": "01110 10001 10001 10001 10101 10010 01101",
+    "R": "11110 10001 10001 11110 10100 10010 10001",
+    "S": "01111 10000 10000 01110 00001 00001 11110",
+    "T": "11111 00100 00100 00100 00100 00100 00100",
+    "U": "10001 10001 10001 10001 10001 10001 01110",
+    "V": "10001 10001 10001 10001 10001 01010 00100",
+    "W": "10001 10001 10001 10101 10101 11011 10001",
+    "X": "10001 10001 01010 00100 01010 10001 10001",
+    "Y": "10001 10001 01010 00100 00100 00100 00100",
+    "Z": "11111 00001 00010 00100 01000 10000 11111",
+}
+
+DEFAULT_SERIES_COLORS = [
+    (0.12, 0.47, 0.71),
+    (0.85, 0.37, 0.01),
+    (0.17, 0.63, 0.17),
+    (0.84, 0.15, 0.16),
+    (0.58, 0.40, 0.74),
+    (0.55, 0.34, 0.29),
+]
+
+
+def _glyph(ch: str) -> np.ndarray:
+    rows = _FONT.get(ch.upper(), _FONT[" "]).split()
+    return np.array([[c == "1" for c in row] for row in rows], dtype=bool)
+
+
+def draw_text(pixels: np.ndarray, text: str, row: int, col: int,
+              color=(0.0, 0.0, 0.0)) -> None:
+    """Blit ``text`` (5×7 font, 1px spacing) onto an RGB(A) pixel array."""
+    color = np.asarray(color, dtype=np.float32)
+    h, w = pixels.shape[:2]
+    for i, ch in enumerate(text):
+        g = _glyph(ch)
+        r0, c0 = row, col + i * 6
+        for dr in range(7):
+            for dc in range(5):
+                if g[dr, dc] and 0 <= r0 + dr < h and 0 <= c0 + dc < w:
+                    pixels[r0 + dr, c0 + dc, :3] = color
+                    if pixels.shape[2] == 4:
+                        pixels[r0 + dr, c0 + dc, 3] = 1.0
+
+
+def _draw_line(pixels: np.ndarray, r0: float, c0: float, r1: float, c1: float,
+               color) -> None:
+    """Anti-alias-free Bresenham-ish polyline segment."""
+    color = np.asarray(color, dtype=np.float32)
+    n = int(max(abs(r1 - r0), abs(c1 - c0), 1)) * 2
+    rs = np.linspace(r0, r1, n).round().astype(int)
+    cs = np.linspace(c0, c1, n).round().astype(int)
+    h, w = pixels.shape[:2]
+    ok = (rs >= 0) & (rs < h) & (cs >= 0) & (cs < w)
+    pixels[rs[ok], cs[ok], :3] = color
+    if pixels.shape[2] == 4:
+        pixels[rs[ok], cs[ok], 3] = 1.0
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 100:
+        return f"{v:.0f}"
+    if abs(v) >= 1:
+        return f"{v:.1f}"
+    return f"{v:.2f}"
+
+
+class _ChartFrame:
+    """Shared chart scaffolding: margins, axes, ticks, legend, title."""
+
+    def __init__(self, width: int, height: int, title: str,
+                 x_range, y_range) -> None:
+        self.pix = np.ones((height, width, 4), dtype=np.float32)
+        self.pix[..., 3] = 1.0
+        self.left, self.right = 46, width - 10
+        self.top, self.bottom = 22, height - 24
+        self.x0, self.x1 = x_range
+        self.y0, self.y1 = y_range
+        if self.x1 == self.x0:
+            self.x1 = self.x0 + 1.0
+        if self.y1 == self.y0:
+            self.y1 = self.y0 + 1.0
+        draw_text(self.pix, title[: (width - 12) // 6], 6, 8)
+        axis = (0.25, 0.25, 0.25)
+        _draw_line(self.pix, self.bottom, self.left, self.bottom, self.right, axis)
+        _draw_line(self.pix, self.top, self.left, self.bottom, self.left, axis)
+        for frac in (0.0, 0.5, 1.0):
+            yv = self.y0 + frac * (self.y1 - self.y0)
+            r = self.ry(yv)
+            _draw_line(self.pix, r, self.left - 3, r, self.left, axis)
+            draw_text(self.pix, _fmt(yv), int(r) - 3, 4)
+            xv = self.x0 + frac * (self.x1 - self.x0)
+            c = self.cx(xv)
+            _draw_line(self.pix, self.bottom, c, self.bottom + 3, c, axis)
+            draw_text(self.pix, _fmt(xv), self.bottom + 8, int(c) - 8)
+
+    def cx(self, x: float) -> float:
+        return self.left + (x - self.x0) / (self.x1 - self.x0) * (self.right - self.left)
+
+    def ry(self, y: float) -> float:
+        return self.bottom - (y - self.y0) / (self.y1 - self.y0) * (self.bottom - self.top)
+
+    def legend(self, names, colors) -> None:
+        for i, (name, color) in enumerate(zip(names, colors)):
+            r = self.top + 4 + i * 10
+            _draw_line(self.pix, r + 3, self.right - 70, r + 3, self.right - 60, color)
+            draw_text(self.pix, name[:10], r, self.right - 56, color=(0.1, 0.1, 0.1))
+
+    def image(self) -> Image:
+        return Image.from_array(self.pix, background=(1, 1, 1))
+
+
+def line_chart(series: dict, title: str = "", width: int = 360, height: int = 240,
+               y_range=None, colors=None) -> Image:
+    """Rasterize named ``(x, y)`` series into a line chart.
+
+    Parameters
+    ----------
+    series:
+        ``{name: (x_values, y_values)}``.
+    y_range:
+        Optional fixed ``(lo, hi)``; defaults to the data extent.
+    """
+    if not series:
+        raise ValueError("series must not be empty")
+    xs = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    y_range = y_range or (float(ys.min()), float(ys.max()))
+    frame = _ChartFrame(width, height, title, (float(xs.min()), float(xs.max())), y_range)
+    colors = colors or DEFAULT_SERIES_COLORS
+    for i, (name, (x, y)) in enumerate(series.items()):
+        color = colors[i % len(colors)]
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if len(x) != len(y):
+            raise ValueError(f"series {name!r}: x and y lengths differ")
+        for j in range(len(x) - 1):
+            _draw_line(frame.pix, frame.ry(y[j]), frame.cx(x[j]),
+                       frame.ry(y[j + 1]), frame.cx(x[j + 1]), color)
+    frame.legend(list(series), colors)
+    return frame.image()
+
+
+def bar_chart(values: dict, title: str = "", width: int = 360, height: int = 240,
+              y_range=None, color=(0.12, 0.47, 0.71)) -> Image:
+    """Rasterize named scalar values into a bar chart (labels under bars)."""
+    if not values:
+        raise ValueError("values must not be empty")
+    names = list(values)
+    heights = np.asarray([values[n] for n in names], dtype=float)
+    y_range = y_range or (min(0.0, float(heights.min())), float(heights.max()))
+    frame = _ChartFrame(width, height, title, (0.0, float(len(names))), y_range)
+    slot = (frame.right - frame.left) / len(names)
+    for i, (name, h) in enumerate(zip(names, heights)):
+        c0 = int(frame.cx(i + 0.2))
+        c1 = int(frame.cx(i + 0.8))
+        r_top = int(frame.ry(h))
+        r_base = int(frame.ry(max(0.0, y_range[0])))
+        lo, hi = sorted((r_top, r_base))
+        frame.pix[lo:hi + 1, c0:c1 + 1, :3] = np.asarray(color, dtype=np.float32)
+        label = name[: max(1, int(slot // 6))]
+        draw_text(frame.pix, label, frame.bottom + 16, c0)
+    return frame.image()

@@ -1,0 +1,191 @@
+"""Orthographic ray casting with front-to-back compositing.
+
+Vectorization strategy (per the HPC guides: no per-pixel Python loops):
+the only Python loop is over *sample shells* along the rays.  At each shell
+every active ray contributes one trilinear sample, evaluated with
+:func:`scipy.ndimage.map_coordinates`; classification, shading, and
+compositing for the whole shell are single numpy expressions over the
+active-ray set.  Early ray termination drops rays whose accumulated alpha
+passes 0.99 from the active set — same optimization GPU ray casters use.
+
+Two entry points:
+
+- :func:`render_volume` — scalar volume + :class:`TransferFunction1D`
+  (classification happens per sample, i.e. post-interpolative lookup);
+- :func:`render_rgba_volume` — a precomputed RGBA volume (used by the
+  multi-pass tracked-feature renderer where the per-voxel color/opacity
+  rule is not a pure function of the scalar value).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.render.camera import Camera
+from repro.render.image import Image
+from repro.render.shading import phong_shade
+from repro.transfer.tf1d import TransferFunction1D
+from repro.volume.grid import Volume
+
+_ALPHA_CUTOFF = 0.99
+
+
+def _sample(field: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    """Trilinear sample of ``field`` at ``(n, 3)`` voxel coordinates."""
+    return ndimage.map_coordinates(
+        field, coords.T, order=1, mode="constant", cval=0.0, prefilter=False
+    )
+
+
+def _composite_shells(
+    n_pixels: int,
+    origins: np.ndarray,
+    directions: np.ndarray,
+    n_samples: int,
+    step: float,
+    shade_fn,
+    sample_rgba,
+):
+    """Shared marching loop: front-to-back composite over sample shells.
+
+    ``directions`` is per-ray ``(n, 3)`` (orthographic cameras replicate a
+    single vector; perspective cameras diverge).  ``sample_rgba(coords,
+    active)`` returns ``(rgb, alpha)`` for the active rays' sample
+    positions; ``shade_fn(rgb, coords, active)`` applies lighting
+    (identity when shading is off).
+    """
+    accum_rgb = np.zeros((n_pixels, 3), dtype=np.float32)
+    accum_a = np.zeros(n_pixels, dtype=np.float32)
+    active = np.arange(n_pixels)
+    for s in range(n_samples):
+        coords = origins[active] + (s * step) * directions[active]
+        rgb, alpha = sample_rgba(coords, active)
+        if shade_fn is not None:
+            rgb = shade_fn(rgb, coords, active)
+        # Opacity correction for the sampling distance (standard DVR):
+        # alpha_corrected = 1 - (1 - alpha)^step keeps appearance invariant
+        # under step-size changes.
+        if step != 1.0:
+            alpha = 1.0 - np.power(1.0 - alpha, step)
+        weight = (1.0 - accum_a[active]) * alpha
+        accum_rgb[active] += weight[:, None] * rgb
+        accum_a[active] += weight
+        still = accum_a[active] < _ALPHA_CUTOFF
+        if not still.all():
+            active = active[still]
+            if len(active) == 0:
+                break
+    return accum_rgb, accum_a
+
+
+def render_volume(
+    volume,
+    tf: TransferFunction1D,
+    camera: Camera | None = None,
+    step: float = 1.0,
+    shading: bool = True,
+    background=(0.0, 0.0, 0.0),
+) -> Image:
+    """Direct volume rendering of a scalar volume through a 1D TF.
+
+    Parameters
+    ----------
+    volume:
+        :class:`Volume` or raw 3D array.
+    tf:
+        Transfer function supplying color and opacity per sample value.
+    camera:
+        Defaults to a 128² three-quarter view.
+    step:
+        Ray sampling distance in voxels (1.0 ≈ view-aligned slice spacing).
+    shading:
+        Gradient Phong shading (the Sec. 7 configuration).  Costs three
+        extra trilinear fetches per sample.
+    """
+    data = volume.data if isinstance(volume, Volume) else np.asarray(volume, dtype=np.float32)
+    if data.ndim != 3:
+        raise ValueError(f"expected a 3D volume, got ndim={data.ndim}")
+    camera = camera or Camera()
+    origins, directions, n_samples = camera.ray_grid(data.shape, step=step)
+    n_pixels = camera.height * camera.width
+
+    if shading:
+        gz, gy, gx = np.gradient(data.astype(np.float32, copy=False))
+        grads = (gz, gy, gx)
+        forward, _, _ = camera.basis()
+        to_viewer = (-forward).astype(np.float32)
+
+        def shade_fn(rgb, coords, active):
+            g = np.stack([_sample(gc, coords) for gc in grads], axis=-1)
+            return phong_shade(rgb, g, light_dir=to_viewer, view_dir=to_viewer)
+
+    else:
+        shade_fn = None
+
+    def sample_rgba(coords, active):
+        values = _sample(data, coords)
+        rgb = tf.color_at(values).astype(np.float32)
+        alpha = tf.opacity_at(values).astype(np.float32)
+        return rgb, alpha
+
+    accum_rgb, accum_a = _composite_shells(
+        n_pixels, origins, directions, n_samples, step, shade_fn, sample_rgba
+    )
+    rgba = np.concatenate([accum_rgb, accum_a[:, None]], axis=1)
+    return Image.from_array(
+        rgba.reshape(camera.height, camera.width, 4), background=background
+    )
+
+
+def render_rgba_volume(
+    rgba_volume: np.ndarray,
+    camera: Camera | None = None,
+    step: float = 1.0,
+    shading_field: np.ndarray | None = None,
+    background=(0.0, 0.0, 0.0),
+) -> Image:
+    """Render a precomputed per-voxel RGBA volume.
+
+    ``rgba_volume`` has shape ``(nz, ny, nx, 4)``.  When ``shading_field``
+    (a scalar volume) is given, its gradient shades the samples.  This path
+    implements the paper's multi-pass rule where color/opacity depend on a
+    region-growing texture, not just the scalar value.
+    """
+    rgba_volume = np.asarray(rgba_volume, dtype=np.float32)
+    if rgba_volume.ndim != 4 or rgba_volume.shape[3] != 4:
+        raise ValueError(f"expected (nz, ny, nx, 4) volume, got {rgba_volume.shape}")
+    camera = camera or Camera()
+    shape3 = rgba_volume.shape[:3]
+    origins, directions, n_samples = camera.ray_grid(shape3, step=step)
+    n_pixels = camera.height * camera.width
+    channels = [np.ascontiguousarray(rgba_volume[..., c]) for c in range(4)]
+
+    if shading_field is not None:
+        field = np.asarray(shading_field, dtype=np.float32)
+        if field.shape != shape3:
+            raise ValueError("shading_field shape must match the RGBA volume grid")
+        gz, gy, gx = np.gradient(field)
+        grads = (gz, gy, gx)
+        forward, _, _ = camera.basis()
+        to_viewer = (-forward).astype(np.float32)
+
+        def shade_fn(rgb, coords, active):
+            g = np.stack([_sample(gc, coords) for gc in grads], axis=-1)
+            return phong_shade(rgb, g, light_dir=to_viewer, view_dir=to_viewer)
+
+    else:
+        shade_fn = None
+
+    def sample_rgba(coords, active):
+        rgb = np.stack([_sample(channels[c], coords) for c in range(3)], axis=-1)
+        alpha = _sample(channels[3], coords)
+        return rgb.astype(np.float32), np.clip(alpha, 0.0, 1.0).astype(np.float32)
+
+    accum_rgb, accum_a = _composite_shells(
+        n_pixels, origins, directions, n_samples, step, shade_fn, sample_rgba
+    )
+    rgba = np.concatenate([accum_rgb, accum_a[:, None]], axis=1)
+    return Image.from_array(
+        rgba.reshape(camera.height, camera.width, 4), background=background
+    )

@@ -1,0 +1,70 @@
+"""Axis-aligned slice images — the painting interface's canvas (Sec. 6).
+
+The paper's interface shows three axis-aligned slices the user paints on,
+plus live per-slice classification feedback.  :func:`slice_image` produces
+the TF-mapped RGB view of one slice; :func:`classification_overlay` blends
+a classifier's certainty field over it the way the interface shows
+intermediate results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.render.image import Image
+from repro.transfer.tf1d import TransferFunction1D
+from repro.volume.grid import Volume
+
+
+def slice_image(volume: Volume, axis: int, index: int,
+                tf: TransferFunction1D | None = None) -> Image:
+    """RGB image of one axis-aligned slice.
+
+    With a transfer function the slice shows TF color modulated by TF
+    opacity (what the rendered volume would contribute there); without one
+    it is a grayscale data view normalized to the volume range.
+    """
+    plane = volume.slice_plane(axis, index)
+    if tf is not None:
+        rgb = tf.color_at(plane)
+        alpha = tf.opacity_at(plane).astype(np.float32)
+        rgba = np.concatenate([rgb * alpha[..., None], alpha[..., None]], axis=-1)
+    else:
+        lo, hi = volume.value_range
+        norm = (plane - lo) / (hi - lo) if hi > lo else np.zeros_like(plane)
+        norm = norm.astype(np.float32)
+        rgba = np.stack([norm, norm, norm, np.ones_like(norm)], axis=-1)
+    return Image.from_array(rgba.astype(np.float32))
+
+
+def classification_overlay(
+    volume: Volume,
+    certainty: np.ndarray,
+    axis: int,
+    index: int,
+    color=(1.0, 0.2, 0.2),
+    strength: float = 0.7,
+) -> Image:
+    """Slice view with the classifier's certainty blended on top.
+
+    ``certainty`` is the per-voxel output of the learning engine in [0, 1];
+    the overlay alpha is ``strength · certainty`` so uncertain regions show
+    faintly — the immediate visual feedback loop of the paper's interface.
+    """
+    certainty = np.asarray(certainty)
+    if certainty.shape != volume.shape:
+        raise ValueError(
+            f"certainty shape {certainty.shape} != volume shape {volume.shape}"
+        )
+    if not 0.0 <= strength <= 1.0:
+        raise ValueError(f"strength must be in [0, 1], got {strength}")
+    base = slice_image(volume, axis, index).pixels
+    slicer: list = [slice(None)] * 3
+    slicer[axis] = index
+    cert_plane = np.clip(certainty[tuple(slicer)], 0.0, 1.0).astype(np.float32)
+    alpha = strength * cert_plane
+    out = base.copy()
+    tint = np.asarray(color, dtype=np.float32)
+    out[..., :3] = (1.0 - alpha[..., None]) * base[..., :3] + alpha[..., None] * tint
+    out[..., 3] = np.maximum(base[..., 3], alpha)
+    return Image.from_array(out)

@@ -1,0 +1,126 @@
+"""Visual validation of extraction/tracking results (paper Sec. 8).
+
+The paper's closing agenda: *"We are presently seeking a systematic way
+for the scientists to validate the feature extraction and tracking
+results.  A promising direction is to use visualization."*  This module is
+that direction, implemented: compare a predicted extraction against a
+reference (another method's result, an earlier iteration, or ground
+truth) and show *where* they disagree.
+
+- :func:`agreement_report` — voxel counts and rates for the four
+  agreement classes (both / prediction-only / reference-only / neither);
+- :func:`agreement_overlay` — a slice image color-coding the classes
+  (green = agree, red = spurious, blue = missed), the picture a scientist
+  scans for systematic errors;
+- :func:`tracking_agreement` — the per-step curve of agreement for two
+  tracking results, localizing *when* two methods diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics import jaccard
+from repro.render.image import Image
+from repro.volume.grid import Volume
+
+AGREE_COLOR = (0.15, 0.7, 0.2)
+SPURIOUS_COLOR = (0.85, 0.15, 0.15)
+MISSED_COLOR = (0.15, 0.3, 0.85)
+
+
+@dataclass(frozen=True)
+class AgreementReport:
+    """Voxel-level agreement between a prediction and a reference."""
+
+    both: int
+    prediction_only: int
+    reference_only: int
+    neither: int
+
+    @property
+    def total(self) -> int:
+        """All voxels."""
+        return self.both + self.prediction_only + self.reference_only + self.neither
+
+    @property
+    def jaccard(self) -> float:
+        """IoU of the two masks."""
+        union = self.both + self.prediction_only + self.reference_only
+        return 1.0 if union == 0 else self.both / union
+
+    @property
+    def spurious_rate(self) -> float:
+        """Fraction of predicted voxels absent from the reference."""
+        pred = self.both + self.prediction_only
+        return 0.0 if pred == 0 else self.prediction_only / pred
+
+    @property
+    def missed_rate(self) -> float:
+        """Fraction of reference voxels absent from the prediction."""
+        ref = self.both + self.reference_only
+        return 0.0 if ref == 0 else self.reference_only / ref
+
+
+def agreement_report(predicted, reference) -> AgreementReport:
+    """Count the four agreement classes between two boolean masks."""
+    predicted = np.asarray(predicted, dtype=bool)
+    reference = np.asarray(reference, dtype=bool)
+    if predicted.shape != reference.shape:
+        raise ValueError(
+            f"mask shapes differ: {predicted.shape} vs {reference.shape}"
+        )
+    both = int(np.count_nonzero(predicted & reference))
+    p_only = int(np.count_nonzero(predicted & ~reference))
+    r_only = int(np.count_nonzero(~predicted & reference))
+    neither = int(predicted.size - both - p_only - r_only)
+    return AgreementReport(both, p_only, r_only, neither)
+
+
+def agreement_overlay(volume: Volume, predicted, reference, axis: int, index: int,
+                      strength: float = 0.85) -> Image:
+    """Slice image with agreement classes tinted over the grayscale data.
+
+    Green where both masks agree on the feature, red where the prediction
+    is spurious, blue where it misses the reference.
+    """
+    predicted = np.asarray(predicted, dtype=bool)
+    reference = np.asarray(reference, dtype=bool)
+    if predicted.shape != volume.shape or reference.shape != volume.shape:
+        raise ValueError("masks must match the volume shape")
+    if not 0.0 <= strength <= 1.0:
+        raise ValueError(f"strength must be in [0, 1], got {strength}")
+    from repro.render.slicer import slice_image
+
+    base = slice_image(volume, axis, index).pixels.copy()
+    slicer: list = [slice(None)] * 3
+    slicer[axis] = index
+    p = predicted[tuple(slicer)]
+    r = reference[tuple(slicer)]
+    for mask2d, color in (
+        (p & r, AGREE_COLOR),
+        (p & ~r, SPURIOUS_COLOR),
+        (~p & r, MISSED_COLOR),
+    ):
+        tint = np.asarray(color, dtype=np.float32)
+        base[mask2d, :3] = (1 - strength) * base[mask2d, :3] + strength * tint
+        base[mask2d, 3] = 1.0
+    return Image.from_array(base)
+
+
+def tracking_agreement(result_a, result_b) -> list[tuple[int, float]]:
+    """Per-step Jaccard between two tracking results.
+
+    Both results must cover the same steps (``TrackResult`` or
+    ``PredictionTrackResult`` — anything with ``masks`` and ``times``).
+    Returns ``(time, jaccard)`` pairs; a drop localizes where the two
+    methods diverge.
+    """
+    if list(result_a.times) != list(result_b.times):
+        raise ValueError("tracking results cover different steps")
+    return [
+        (t, jaccard(ma, mb))
+        for t, ma, mb in zip(result_a.times, result_a.masks, result_b.masks)
+    ]

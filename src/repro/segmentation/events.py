@@ -1,0 +1,130 @@
+"""Tracking events: continuation, split, merge, birth, death.
+
+Feature tracking is *"the process of capturing all the events for one or
+more features"* (Sec. 5).  Given labeled feature maps at consecutive time
+steps, the spatial-overlap correspondence (the paper's temporal-sampling
+assumption makes matching features overlap in 3D) yields a bipartite graph;
+classifying node degrees in that graph produces the event vocabulary of the
+tracking literature, which the Fig. 9 experiment uses to report the vortex
+split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def overlap_graph(labels_a: np.ndarray, labels_b: np.ndarray, min_overlap: int = 1) -> dict:
+    """Voxel-overlap counts between features of two labelings.
+
+    Returns ``{(id_a, id_b): overlap_voxels}`` for all pairs overlapping in
+    at least ``min_overlap`` voxels.  Computed in one vectorized pass by
+    bin-counting the joint label ids.
+    """
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    if labels_a.shape != labels_b.shape:
+        raise ValueError(f"label maps differ in shape: {labels_a.shape} vs {labels_b.shape}")
+    if min_overlap < 1:
+        raise ValueError(f"min_overlap must be >= 1, got {min_overlap}")
+    both = (labels_a > 0) & (labels_b > 0)
+    if not both.any():
+        return {}
+    a = labels_a[both].astype(np.int64)
+    b = labels_b[both].astype(np.int64)
+    nb = int(b.max()) + 1
+    joint = a * nb + b
+    counts = np.bincount(joint)
+    pairs = np.nonzero(counts >= min_overlap)[0]
+    return {(int(j // nb), int(j % nb)): int(counts[j]) for j in pairs}
+
+
+@dataclass(frozen=True)
+class TrackEvent:
+    """One event between steps ``time_a`` → ``time_b``.
+
+    ``kind`` is one of ``"continuation"``, ``"split"``, ``"merge"``,
+    ``"birth"``, ``"death"``.  ``sources`` are feature ids at ``time_a``,
+    ``targets`` at ``time_b`` (empty tuple for birth/death respectively).
+    """
+
+    kind: str
+    time_a: int
+    time_b: int
+    sources: tuple
+    targets: tuple
+
+
+def detect_events(labels_a, labels_b, time_a: int = 0, time_b: int = 1,
+                  min_overlap: int = 1) -> list[TrackEvent]:
+    """Classify the overlap graph between two labeled steps into events.
+
+    Rules (standard in the feature-tracking literature the paper cites):
+
+    - feature in A overlapping exactly one feature in B which in turn
+      overlaps only it → *continuation*;
+    - feature in A overlapping ≥2 features in B → *split*;
+    - feature in B overlapped by ≥2 features in A → *merge*;
+    - feature in B with no overlap → *birth*;
+    - feature in A with no overlap → *death*.
+
+    A many-to-many tangle is reported as both a split (per A-feature) and a
+    merge (per B-feature); callers needing exclusivity can post-filter.
+    """
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    graph = overlap_graph(labels_a, labels_b, min_overlap=min_overlap)
+    ids_a = set(np.unique(labels_a[labels_a > 0]).tolist())
+    ids_b = set(np.unique(labels_b[labels_b > 0]).tolist())
+    succ: dict[int, set] = {i: set() for i in ids_a}
+    pred: dict[int, set] = {i: set() for i in ids_b}
+    for (ia, ib) in graph:
+        succ[ia].add(ib)
+        pred[ib].add(ia)
+
+    events: list[TrackEvent] = []
+    for ia in sorted(ids_a):
+        targets = succ[ia]
+        if not targets:
+            events.append(TrackEvent("death", time_a, time_b, (ia,), ()))
+        elif len(targets) >= 2:
+            events.append(
+                TrackEvent("split", time_a, time_b, (ia,), tuple(sorted(targets)))
+            )
+    for ib in sorted(ids_b):
+        sources = pred[ib]
+        if not sources:
+            events.append(TrackEvent("birth", time_a, time_b, (), (ib,)))
+        elif len(sources) >= 2:
+            events.append(
+                TrackEvent("merge", time_a, time_b, tuple(sorted(sources)), (ib,))
+            )
+    for ia in sorted(ids_a):
+        targets = succ[ia]
+        if len(targets) == 1:
+            ib = next(iter(targets))
+            if len(pred[ib]) == 1:
+                events.append(TrackEvent("continuation", time_a, time_b, (ia,), (ib,)))
+    return events
+
+
+def track_timeline(labelings, times=None, min_overlap: int = 1) -> list[TrackEvent]:
+    """Run :func:`detect_events` across a whole sequence of labelings.
+
+    ``labelings`` is a list of label maps; ``times`` optionally supplies
+    the simulation step ids (defaults to 0, 1, 2, …).
+    """
+    labelings = list(labelings)
+    if times is None:
+        times = list(range(len(labelings)))
+    times = list(times)
+    if len(times) != len(labelings):
+        raise ValueError("times and labelings must have equal length")
+    events: list[TrackEvent] = []
+    for (la, ta), (lb, tb) in zip(
+        zip(labelings[:-1], times[:-1]), zip(labelings[1:], times[1:])
+    ):
+        events.extend(detect_events(la, lb, time_a=ta, time_b=tb, min_overlap=min_overlap))
+    return events

@@ -1,0 +1,152 @@
+"""Prediction–verification feature tracking (the paper's ref. [20]).
+
+Reinders et al. *"calculate the basic attributes for the features of
+interest which are used to track features with a prediction and
+verification scheme"* — the main alternative to the paper's 4D region
+growing (Sec. 5).  The two differ in their assumptions:
+
+- 4D region growing requires *spatial overlap* between consecutive
+  occurrences (dense temporal sampling) but needs no motion model;
+- prediction–verification extrapolates the feature's motion from its
+  attribute history and *verifies* the best-matching candidate by
+  attribute similarity — it survives coarse temporal sampling where
+  overlap breaks, at the cost of a correspondence heuristic.
+
+The crossover between the two regimes is measured in
+``benchmarks/test_tracking_methods_crossover.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.segmentation.components import FeatureAttributes, feature_attributes, label_components
+from repro.volume.grid import VolumeSequence
+
+
+@dataclass
+class PredictionTrackResult:
+    """Per-step outcome of prediction–verification tracking.
+
+    Attributes
+    ----------
+    masks:
+        4D boolean array of the matched feature per step (all-False once
+        the feature is lost).
+    times:
+        Simulation step ids.
+    matched:
+        Per-step flag: was a verified match found?
+    history:
+        The matched :class:`FeatureAttributes` per step (``None`` when
+        lost).
+    """
+
+    masks: np.ndarray
+    times: list[int]
+    matched: list[bool]
+    history: list[FeatureAttributes | None]
+
+    @property
+    def steps_tracked(self) -> int:
+        """Number of steps with a verified match."""
+        return int(sum(self.matched))
+
+    @property
+    def voxel_counts(self) -> list[int]:
+        """Tracked voxels per step."""
+        return [int(m.sum()) for m in self.masks]
+
+
+class PredictionVerificationTracker:
+    """Attribute-based tracker with linear motion prediction.
+
+    Parameters
+    ----------
+    max_distance:
+        Verification gate: the candidate's centroid must lie within this
+        distance (voxels) of the predicted position.
+    max_volume_ratio:
+        Verification gate: candidate/previous voxel-count ratio must lie
+        in ``[1/r, r]`` (features change size smoothly).
+    connectivity:
+        Connectivity used when labeling each step's criterion mask.
+    """
+
+    def __init__(self, max_distance: float = 12.0, max_volume_ratio: float = 2.5,
+                 connectivity: int = 1) -> None:
+        if max_distance <= 0:
+            raise ValueError(f"max_distance must be positive, got {max_distance}")
+        if max_volume_ratio <= 1:
+            raise ValueError(f"max_volume_ratio must exceed 1, got {max_volume_ratio}")
+        self.max_distance = float(max_distance)
+        self.max_volume_ratio = float(max_volume_ratio)
+        self.connectivity = int(connectivity)
+
+    def track(self, sequence: VolumeSequence, criteria, seed_point) -> PredictionTrackResult:
+        """Track the feature containing ``seed_point`` through ``criteria``.
+
+        Parameters
+        ----------
+        sequence:
+            Supplies the time-step ids (and data for attribute mass).
+        criteria:
+            Per-step boolean masks (same forms as the region-growing
+            tracker accepts).
+        seed_point:
+            ``(z, y, x)`` inside the feature at the first step.
+        """
+        criteria = np.asarray(criteria, dtype=bool)
+        if criteria.ndim != 4 or criteria.shape[0] != len(sequence):
+            raise ValueError("criteria must be [steps, z, y, x] matching the sequence")
+        seed_point = tuple(int(c) for c in np.asarray(seed_point).reshape(3))
+
+        masks = np.zeros_like(criteria)
+        matched: list[bool] = []
+        history: list[FeatureAttributes | None] = []
+        velocity = np.zeros(3)
+        prev: FeatureAttributes | None = None
+
+        for step, vol in enumerate(sequence):
+            labels, count = label_components(criteria[step], connectivity=self.connectivity)
+            attrs = feature_attributes(labels, count, data=vol.data)
+            if step == 0:
+                label_at_seed = int(labels[seed_point])
+                if label_at_seed == 0:
+                    raise ValueError(
+                        f"seed point {seed_point} is not inside the first step's criterion"
+                    )
+                current = next(a for a in attrs if a.label == label_at_seed)
+            else:
+                current = self._verify(attrs, prev, velocity) if prev is not None else None
+            if current is not None:
+                masks[step] = labels == current.label
+                if prev is not None:
+                    velocity = np.asarray(current.centroid) - np.asarray(prev.centroid)
+                matched.append(True)
+                history.append(current)
+                prev = current
+            else:
+                matched.append(False)
+                history.append(None)
+                prev = None  # feature lost; no re-acquisition (as in ref. [20])
+        return PredictionTrackResult(
+            masks=masks, times=list(sequence.times), matched=matched, history=history
+        )
+
+    def _verify(self, attrs, prev: FeatureAttributes, velocity: np.ndarray):
+        """Pick the best candidate passing both verification gates."""
+        predicted = np.asarray(prev.centroid) + velocity
+        best, best_dist = None, np.inf
+        for cand in attrs:
+            dist = float(np.linalg.norm(np.asarray(cand.centroid) - predicted))
+            if dist > self.max_distance:
+                continue
+            ratio = cand.voxels / max(prev.voxels, 1)
+            if not (1.0 / self.max_volume_ratio <= ratio <= self.max_volume_ratio):
+                continue
+            if dist < best_dist:
+                best, best_dist = cand, dist
+        return best

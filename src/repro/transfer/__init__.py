@@ -1,0 +1,26 @@
+"""Transfer-function substrate.
+
+Direct volume rendering maps scalar values to color and opacity through a
+1D transfer function (paper Sec. 4.1).  This package provides:
+
+- :mod:`repro.transfer.colormap` — piecewise-linear colormaps.  Per paper
+  Sec. 7, color always encodes the raw data value; the learning machinery
+  only ever modifies *opacity*.
+- :mod:`repro.transfer.tf1d` — :class:`TransferFunction1D` with tent/box
+  opacity primitives, evaluation over volumes, linear interpolation between
+  two TFs (the Fig. 3 baseline), and (de)serialization.
+"""
+
+from repro.transfer.colormap import Colormap, default_flow_colormap, grayscale_colormap
+from repro.transfer.tf1d import (
+    TransferFunction1D,
+    interpolate_transfer_functions,
+)
+
+__all__ = [
+    "Colormap",
+    "TransferFunction1D",
+    "default_flow_colormap",
+    "grayscale_colormap",
+    "interpolate_transfer_functions",
+]

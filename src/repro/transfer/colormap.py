@@ -1,0 +1,79 @@
+"""Piecewise-linear colormaps.
+
+Colormaps map a normalized scalar coordinate in [0, 1] to RGB.  The paper
+keeps the color assignment fixed to the data value across a whole sequence
+("Shifting the assignment of colors could … give a misleading indication",
+Sec. 7) — so colormaps here are immutable, shared objects, and only the
+opacity channel of a transfer function is ever learned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Colormap:
+    """Immutable piecewise-linear RGB colormap.
+
+    Parameters
+    ----------
+    positions:
+        Increasing control positions in [0, 1]; first must be 0, last 1.
+    colors:
+        One RGB triple (components in [0, 1]) per position.
+    """
+
+    def __init__(self, positions, colors) -> None:
+        positions = np.asarray(positions, dtype=np.float64)
+        colors = np.asarray(colors, dtype=np.float64)
+        if positions.ndim != 1 or len(positions) < 2:
+            raise ValueError("need at least two control positions")
+        if colors.shape != (len(positions), 3):
+            raise ValueError(
+                f"colors must have shape ({len(positions)}, 3), got {colors.shape}"
+            )
+        if positions[0] != 0.0 or positions[-1] != 1.0:
+            raise ValueError("positions must start at 0.0 and end at 1.0")
+        if np.any(np.diff(positions) <= 0):
+            raise ValueError("positions must be strictly increasing")
+        if colors.min() < 0.0 or colors.max() > 1.0:
+            raise ValueError("color components must lie in [0, 1]")
+        self._positions = positions
+        self._positions.setflags(write=False)
+        self._colors = colors
+        self._colors.setflags(write=False)
+
+    def __call__(self, coords) -> np.ndarray:
+        """Map coordinates in [0, 1] (clipped) to RGB; output shape ``coords.shape + (3,)``."""
+        coords = np.clip(np.asarray(coords, dtype=np.float64), 0.0, 1.0)
+        out = np.empty(coords.shape + (3,), dtype=np.float32)
+        for c in range(3):
+            out[..., c] = np.interp(coords, self._positions, self._colors[:, c])
+        return out
+
+    def table(self, entries: int = 256) -> np.ndarray:
+        """Sampled lookup table of shape ``(entries, 3)``."""
+        return self(np.linspace(0.0, 1.0, entries))
+
+
+def default_flow_colormap() -> Colormap:
+    """Blue → cyan → green → yellow → red ramp, the classic flow-vis map.
+
+    Matches the rainbow-style maps in the paper's figures (value encodes
+    physical magnitude; hue communicates it).
+    """
+    return Colormap(
+        positions=[0.0, 0.25, 0.5, 0.75, 1.0],
+        colors=[
+            (0.05, 0.05, 0.60),
+            (0.00, 0.70, 0.90),
+            (0.10, 0.80, 0.20),
+            (0.95, 0.85, 0.10),
+            (0.85, 0.10, 0.05),
+        ],
+    )
+
+
+def grayscale_colormap() -> Colormap:
+    """Black-to-white ramp, used by slice views and tests."""
+    return Colormap(positions=[0.0, 1.0], colors=[(0, 0, 0), (1, 1, 1)])

@@ -1,0 +1,32 @@
+"""Shared utilities: RNG handling, validation, timing.
+
+These helpers enforce the repository-wide conventions documented in
+DESIGN.md section 5: every stochastic component takes an explicit seed or
+:class:`numpy.random.Generator`, volumes are float32 arrays indexed
+``[z, y, x]``, and hot-path timing uses monotonic wall clocks.
+"""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timing import Stopwatch, Timer, format_seconds
+from repro.utils.validation import (
+    check_finite,
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_shape3d,
+    check_volume_array,
+)
+
+__all__ = [
+    "Stopwatch",
+    "Timer",
+    "as_generator",
+    "check_finite",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "check_shape3d",
+    "check_volume_array",
+    "format_seconds",
+    "spawn_generators",
+]

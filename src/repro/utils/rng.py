@@ -1,0 +1,44 @@
+"""Random-number-generator plumbing.
+
+All stochastic code in :mod:`repro` accepts a ``seed`` argument that may be
+``None``, an integer, or an already-constructed
+:class:`numpy.random.Generator`.  :func:`as_generator` normalizes the three
+forms so call sites never construct generators ad hoc, which keeps every
+experiment in the benchmark suite reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | None | np.random.Generator"
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an integer seed, or an existing
+        generator (returned unchanged, *not* copied — callers share state
+        deliberately so that a pipeline consumes one stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Used by the parallel executor so that worker tasks draw from
+    non-overlapping streams regardless of scheduling order.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    root = as_generator(seed)
+    seq = root.bit_generator.seed_seq if hasattr(root.bit_generator, "seed_seq") else None
+    if seq is None:  # pragma: no cover - all numpy bit generators expose seed_seq
+        return [np.random.default_rng(root.integers(0, 2**63)) for _ in range(n)]
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

@@ -1,0 +1,108 @@
+"""Wall-clock timing helpers used by the Sec. 7 performance benches.
+
+The paper reports frames-per-second and whole-volume classification seconds
+(Sec. 7).  These helpers provide a tiny, dependency-free way to collect the
+same measurements: a context-manager :class:`Timer` for one-shot intervals
+and a :class:`Stopwatch` accumulating named lap totals across a pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context manager measuring one elapsed interval in seconds.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     sum(range(10))
+    45
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    @property
+    def fps(self) -> float:
+        """Frames per second assuming the interval covered one frame."""
+        return float("inf") if self.elapsed == 0.0 else 1.0 / self.elapsed
+
+
+class Stopwatch:
+    """Accumulate named lap totals (seconds) and counts.
+
+    >>> sw = Stopwatch()
+    >>> with sw.lap("render"):
+    ...     pass
+    >>> sw.count("render")
+    1
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    def lap(self, name: str):
+        """Return a context manager adding its interval to lap ``name``."""
+        stopwatch = self
+
+        class _Lap:
+            def __enter__(self_inner):
+                self_inner._start = time.perf_counter()
+                return self_inner
+
+            def __exit__(self_inner, *exc):
+                dt = time.perf_counter() - self_inner._start
+                stopwatch._totals[name] = stopwatch._totals.get(name, 0.0) + dt
+                stopwatch._counts[name] = stopwatch._counts.get(name, 0) + 1
+
+        return _Lap()
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated for lap ``name`` (0.0 if never run)."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of completed laps named ``name``."""
+        return self._counts.get(name, 0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per lap for ``name``; 0.0 if never run."""
+        n = self.count(name)
+        return 0.0 if n == 0 else self.total(name) / n
+
+    def names(self) -> list[str]:
+        """All lap names seen so far, in first-use order."""
+        return list(self._totals)
+
+    def report(self) -> str:
+        """Human-readable multi-line summary of all laps."""
+        lines = []
+        for name in self._totals:
+            lines.append(
+                f"{name}: total={format_seconds(self.total(name))} "
+                f"n={self.count(name)} mean={format_seconds(self.mean(name))}"
+            )
+        return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration compactly: µs/ms/s scales."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"

@@ -1,0 +1,64 @@
+"""Time-varying volume data substrate.
+
+The paper operates on 4D (time-varying 3D) scalar fields produced by flow
+simulations.  This package provides the containers and derived quantities
+every other subsystem builds on:
+
+- :mod:`repro.volume.grid` — :class:`Volume` and :class:`VolumeSequence`
+  containers (float32, ``[z, y, x]`` indexing).
+- :mod:`repro.volume.histogram` — histograms and the cumulative histogram
+  that drives the Intelligent Adaptive Transfer Function (paper Sec. 4.2.1).
+- :mod:`repro.volume.gradient` — central-difference gradients and vorticity
+  magnitude (the Fig. 5 combustion variable).
+- :mod:`repro.volume.filters` — smoothing baselines used by the Fig. 7
+  comparison.
+- :mod:`repro.volume.io` — raw-brick on-disk format with JSON metadata.
+"""
+
+from repro.volume.grid import Volume, VolumeSequence
+from repro.volume.histogram import (
+    CumulativeHistogram,
+    cumulative_histogram,
+    histogram,
+    histogram_peaks,
+    voxel_cumulative_values,
+)
+from repro.volume.gradient import (
+    gradient,
+    gradient_magnitude,
+    vorticity,
+    vorticity_magnitude,
+)
+from repro.volume.filters import box_smooth, gaussian_smooth, iterated_smooth, median_smooth
+from repro.volume.io import load_sequence, load_volume, save_sequence, save_volume
+from repro.volume.compression import CompressedVolume, compress_volume
+from repro.volume.multivariate import MultiVolume, is_multivariate
+from repro.volume.pyramid import VolumePyramid, downsample2
+
+__all__ = [
+    "CompressedVolume",
+    "CumulativeHistogram",
+    "MultiVolume",
+    "Volume",
+    "VolumePyramid",
+    "VolumeSequence",
+    "box_smooth",
+    "compress_volume",
+    "cumulative_histogram",
+    "downsample2",
+    "gaussian_smooth",
+    "gradient",
+    "gradient_magnitude",
+    "histogram",
+    "histogram_peaks",
+    "is_multivariate",
+    "iterated_smooth",
+    "load_sequence",
+    "load_volume",
+    "median_smooth",
+    "save_sequence",
+    "save_volume",
+    "vorticity",
+    "vorticity_magnitude",
+    "voxel_cumulative_values",
+]

@@ -1,0 +1,141 @@
+"""Volume compression — the Sec. 7 data-transport bottleneck.
+
+The paper closes its hardware section with: *"a more interesting and
+helpful capability is fast data decompression … since one potential
+bottleneck for large data sets is the need to transmit data between the
+disk and the video memory."*  This module supplies the classic scheme that
+trade-off rests on: **uniform scalar quantization + entropy coding**
+(zlib), with a guaranteed error bound, so pipelines can ship compressed
+bricks and decompress near the consumer.
+
+- :func:`compress_volume` / :class:`CompressedVolume` — quantize to 8 or
+  16 bits over the volume's range, DEFLATE the bytes; decompression
+  reconstructs within ``max_abs_error`` (half a quantization step).
+- The ``delta`` predictor option stores per-scanline differences before
+  coding — smooth simulation fields compress substantially better, the
+  standard trick of the era's volume codecs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.volume.grid import Volume
+
+
+@dataclass
+class CompressedVolume:
+    """A quantized, DEFLATE-coded scalar volume.
+
+    Attributes
+    ----------
+    payload:
+        zlib-compressed quantized bytes.
+    shape:
+        Grid shape.
+    lo, hi:
+        Quantization range (the original value range).
+    bits:
+        8 or 16.
+    delta:
+        Whether the x-scanline delta predictor was applied.
+    time, name:
+        Carried volume metadata.
+    """
+
+    payload: bytes
+    shape: tuple
+    lo: float
+    hi: float
+    bits: int
+    delta: bool
+    time: int = 0
+    name: str = ""
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Size of the coded payload."""
+        return len(self.payload)
+
+    @property
+    def raw_bytes(self) -> int:
+        """Size of the float32 original."""
+        return int(np.prod(self.shape)) * 4
+
+    @property
+    def compression_ratio(self) -> float:
+        """raw float32 bytes / compressed bytes."""
+        return self.raw_bytes / max(self.compressed_bytes, 1)
+
+    @property
+    def max_abs_error(self) -> float:
+        """Guaranteed reconstruction error bound (half a quantization step)."""
+        levels = (1 << self.bits) - 1
+        if self.hi <= self.lo:
+            return 0.0
+        return (self.hi - self.lo) / levels / 2.0
+
+    def decompress(self) -> Volume:
+        """Reconstruct the volume (within :attr:`max_abs_error`)."""
+        dtype = np.uint8 if self.bits == 8 else np.uint16
+        q = np.frombuffer(zlib.decompress(self.payload), dtype=dtype).astype(
+            np.int64
+        ).reshape(self.shape)
+        if self.delta:
+            q = np.cumsum(q, axis=-1, dtype=np.int64)
+            levels = (1 << self.bits) - 1
+            q = np.mod(q, levels + 1)
+        levels = (1 << self.bits) - 1
+        if self.hi > self.lo:
+            data = self.lo + q.astype(np.float64) / levels * (self.hi - self.lo)
+        else:
+            data = np.full(self.shape, self.lo, dtype=np.float64)
+        return Volume(data.astype(np.float32), time=self.time, name=self.name)
+
+
+def compress_volume(volume, bits: int = 8, delta: bool = True,
+                    level: int = 6) -> CompressedVolume:
+    """Quantize and DEFLATE a volume.
+
+    Parameters
+    ----------
+    volume:
+        :class:`Volume` or raw 3D array.
+    bits:
+        Quantization depth, 8 or 16.
+    delta:
+        Apply the x-scanline delta predictor before coding (better ratios
+        on smooth fields; lossless w.r.t. the quantized values).
+    level:
+        zlib effort, 1 (fast) … 9 (small).
+    """
+    if bits not in (8, 16):
+        raise ValueError(f"bits must be 8 or 16, got {bits}")
+    if not 1 <= level <= 9:
+        raise ValueError(f"level must be in [1, 9], got {level}")
+    if isinstance(volume, Volume):
+        data, time, name = volume.data, volume.time, volume.name
+    else:
+        data = np.asarray(volume, dtype=np.float32)
+        time, name = 0, ""
+    if data.ndim != 3:
+        raise ValueError(f"expected a 3D volume, got ndim={data.ndim}")
+    lo, hi = float(data.min()), float(data.max())
+    levels = (1 << bits) - 1
+    if hi > lo:
+        q = np.rint((data.astype(np.float64) - lo) / (hi - lo) * levels).astype(np.int64)
+    else:
+        q = np.zeros(data.shape, dtype=np.int64)
+    if delta:
+        # modular differences along x: cumsum mod (levels+1) inverts exactly
+        d = np.diff(q, axis=-1, prepend=0)
+        q = np.mod(d, levels + 1)
+    dtype = np.uint8 if bits == 8 else np.uint16
+    payload = zlib.compress(np.ascontiguousarray(q.astype(dtype)).tobytes(), level)
+    return CompressedVolume(
+        payload=payload, shape=data.shape, lo=lo, hi=hi, bits=bits,
+        delta=delta, time=time, name=name,
+    )

@@ -1,0 +1,203 @@
+"""Volume containers.
+
+A :class:`Volume` wraps one 3D scalar field (a single simulation time step);
+a :class:`VolumeSequence` wraps an ordered set of them sharing a grid — the
+"4D" data the paper's title refers to.  Both are thin, explicit containers:
+the raw array is always reachable as ``.data`` so hot paths stay plain
+numpy, and metadata (time-step id, value range, optional ground-truth masks)
+travels alongside without copying voxels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_volume_array
+
+
+@dataclass
+class Volume:
+    """One 3D scalar field at a single time step.
+
+    Parameters
+    ----------
+    data:
+        3D numeric array, converted to C-contiguous float32 and indexed
+        ``[z, y, x]``.
+    time:
+        The simulation's own time-step id (the paper uses ids like 195…255
+        for the argon bubble), not a 0-based sequence index.
+    name:
+        Optional dataset label used in reports.
+    masks:
+        Optional named boolean ground-truth masks (same shape as ``data``).
+        The synthetic generators fill these so experiments can be scored
+        quantitatively; real data would leave the dict empty.
+    """
+
+    data: np.ndarray
+    time: int = 0
+    name: str = ""
+    masks: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.data = check_volume_array("data", self.data)
+        for key, mask in self.masks.items():
+            mask = np.asarray(mask)
+            if mask.shape != self.data.shape:
+                raise ValueError(
+                    f"mask {key!r} shape {mask.shape} != volume shape {self.data.shape}"
+                )
+            self.masks[key] = mask.astype(bool, copy=False)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Grid shape ``(nz, ny, nx)``."""
+        return self.data.shape  # type: ignore[return-value]
+
+    @property
+    def size(self) -> int:
+        """Total voxel count."""
+        return int(self.data.size)
+
+    @property
+    def value_range(self) -> tuple[float, float]:
+        """``(min, max)`` of the scalar field."""
+        return float(self.data.min()), float(self.data.max())
+
+    def mask(self, name: str) -> np.ndarray:
+        """Return the ground-truth mask called ``name``.
+
+        Raises ``KeyError`` listing available masks when absent, which makes
+        mis-wired experiments fail loudly.
+        """
+        try:
+            return self.masks[name]
+        except KeyError:
+            raise KeyError(
+                f"volume has no mask {name!r}; available: {sorted(self.masks)}"
+            ) from None
+
+    def normalized(self, lo: float | None = None, hi: float | None = None) -> "Volume":
+        """Return a copy rescaled so values map linearly onto [0, 1].
+
+        ``lo``/``hi`` default to the volume's own range; passing a shared
+        sequence range keeps time steps comparable (needed when a single
+        colormap spans the whole sequence, paper Sec. 7).
+        """
+        vmin, vmax = self.value_range
+        lo = vmin if lo is None else float(lo)
+        hi = vmax if hi is None else float(hi)
+        if hi <= lo:
+            data = np.zeros_like(self.data)
+        else:
+            data = (self.data - lo) / (hi - lo)
+            np.clip(data, 0.0, 1.0, out=data)
+        return Volume(data, time=self.time, name=self.name, masks=dict(self.masks))
+
+    def slice_plane(self, axis: int, index: int) -> np.ndarray:
+        """Return the 2D axis-aligned slice ``index`` along ``axis`` (0=z,1=y,2=x).
+
+        This is the view the painting interface draws on (paper Sec. 6).
+        Returned as a view — mutating it mutates the volume.
+        """
+        if axis not in (0, 1, 2):
+            raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
+        if not 0 <= index < self.shape[axis]:
+            raise IndexError(f"slice index {index} out of range for axis {axis}")
+        slicer: list = [slice(None)] * 3
+        slicer[axis] = index
+        return self.data[tuple(slicer)]
+
+    def copy(self) -> "Volume":
+        """Deep copy (voxels and masks)."""
+        return Volume(
+            self.data.copy(),
+            time=self.time,
+            name=self.name,
+            masks={k: v.copy() for k, v in self.masks.items()},
+        )
+
+
+class VolumeSequence:
+    """An ordered time series of :class:`Volume` objects on one grid.
+
+    Supports ``len``, iteration, integer indexing by *position*, and lookup
+    by simulation time-step id via :meth:`at_time` — the distinction matters
+    because the paper addresses steps by simulation id (e.g. "time step
+    310") while arrays are positionally indexed.
+    """
+
+    def __init__(self, volumes, name: str = "") -> None:
+        volumes = list(volumes)
+        if not volumes:
+            raise ValueError("VolumeSequence requires at least one volume")
+        shape = volumes[0].shape
+        for vol in volumes:
+            if not isinstance(vol, Volume):
+                raise TypeError(f"expected Volume, got {type(vol).__name__}")
+            if vol.shape != shape:
+                raise ValueError(
+                    f"all volumes must share a grid: {vol.shape} != {shape}"
+                )
+        times = [v.time for v in volumes]
+        if len(set(times)) != len(times):
+            raise ValueError(f"duplicate time-step ids in sequence: {times}")
+        if times != sorted(times):
+            raise ValueError(f"time-step ids must be increasing, got {times}")
+        self._volumes = volumes
+        self.name = name or (volumes[0].name if volumes[0].name else "")
+
+    def __len__(self) -> int:
+        return len(self._volumes)
+
+    def __iter__(self):
+        return iter(self._volumes)
+
+    def __getitem__(self, index: int) -> Volume:
+        return self._volumes[index]
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Shared grid shape ``(nz, ny, nx)``."""
+        return self._volumes[0].shape
+
+    @property
+    def times(self) -> list[int]:
+        """Simulation time-step ids, in order."""
+        return [v.time for v in self._volumes]
+
+    def at_time(self, time: int) -> Volume:
+        """Return the volume whose simulation time-step id equals ``time``."""
+        for vol in self._volumes:
+            if vol.time == time:
+                return vol
+        raise KeyError(f"no volume with time-step id {time}; have {self.times}")
+
+    def index_of_time(self, time: int) -> int:
+        """Positional index of simulation time-step id ``time``."""
+        for i, vol in enumerate(self._volumes):
+            if vol.time == time:
+                return i
+        raise KeyError(f"no volume with time-step id {time}; have {self.times}")
+
+    @property
+    def value_range(self) -> tuple[float, float]:
+        """Global ``(min, max)`` over the full sequence.
+
+        The IATF maps every time step through one shared scalar domain
+        (paper Sec. 4.2.2: the transfer-function index is a scalar value);
+        this range defines that domain.
+        """
+        lows, highs = zip(*(v.value_range for v in self._volumes))
+        return min(lows), max(highs)
+
+    def subsequence(self, times) -> "VolumeSequence":
+        """A new sequence containing only the listed simulation step ids."""
+        return VolumeSequence([self.at_time(t) for t in times], name=self.name)
+
+    def as_array(self) -> np.ndarray:
+        """Stack into a 4D ``[t, z, y, x]`` array (copies)."""
+        return np.stack([v.data for v in self._volumes], axis=0)

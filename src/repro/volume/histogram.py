@@ -1,0 +1,163 @@
+"""Histograms and the cumulative histogram (paper Sec. 4.2.1).
+
+The cumulative histogram is the key data-driven signal behind the
+Intelligent Adaptive Transfer Function: *"the value of a voxel's cumulative
+histogram is the number of voxels in the data set that have scalar value
+less than or equal to that voxel"*.  When a feature's scalar values drift
+globally over time (Fig. 2), its cumulative-histogram coordinate stays
+nearly constant, so a classifier fed ⟨data, cumhist(data), t⟩ can follow it.
+
+All functions here work on a fixed *shared* value domain ``(lo, hi)`` so
+that histogram bins align across time steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.volume.grid import Volume
+
+
+def _resolve_domain(data: np.ndarray, domain) -> tuple[float, float]:
+    if domain is None:
+        lo, hi = float(data.min()), float(data.max())
+    else:
+        lo, hi = float(domain[0]), float(domain[1])
+    if hi <= lo:
+        hi = lo + 1.0
+    return lo, hi
+
+
+def histogram(volume, bins: int = 256, domain=None) -> np.ndarray:
+    """Voxel-count histogram of a volume over ``bins`` equal-width bins.
+
+    Parameters
+    ----------
+    volume:
+        A :class:`Volume` or raw 3D array.
+    bins:
+        Number of bins (the paper's transfer functions use 256 entries).
+    domain:
+        ``(lo, hi)`` shared value domain; defaults to the volume's range.
+    """
+    data = volume.data if isinstance(volume, Volume) else np.asarray(volume)
+    lo, hi = _resolve_domain(data, domain)
+    counts, _ = np.histogram(data, bins=bins, range=(lo, hi))
+    return counts.astype(np.int64)
+
+
+def cumulative_histogram(volume, bins: int = 256, domain=None) -> np.ndarray:
+    """Normalized cumulative histogram: fraction of voxels with value ≤ bin.
+
+    Returns a float64 array of length ``bins`` increasing to 1.0.  This is
+    the empirical CDF evaluated at the right edge of each bin — exactly the
+    per-entry lookup the IATF feeds to the neural network.
+    """
+    counts = histogram(volume, bins=bins, domain=domain)
+    cum = np.cumsum(counts, dtype=np.float64)
+    total = cum[-1]
+    if total > 0:
+        cum /= total
+    return cum
+
+
+@dataclass
+class CumulativeHistogram:
+    """A reusable cumulative histogram bound to a fixed value domain.
+
+    Precomputes the CDF once per time step and then answers two queries in
+    vectorized form:
+
+    - :meth:`at_values` — CDF coordinate of arbitrary scalar values (used to
+      build IATF training vectors from transfer-function entries).
+    - :meth:`at_voxels` — CDF coordinate of every voxel in a volume (used by
+      data-space feature vectors).
+    """
+
+    cdf: np.ndarray
+    lo: float
+    hi: float
+
+    @classmethod
+    def of(cls, volume, bins: int = 256, domain=None) -> "CumulativeHistogram":
+        """Build from a volume (or raw array) over a shared domain."""
+        data = volume.data if isinstance(volume, Volume) else np.asarray(volume)
+        lo, hi = _resolve_domain(data, domain)
+        cdf = cumulative_histogram(data, bins=bins, domain=(lo, hi))
+        return cls(cdf=cdf, lo=lo, hi=hi)
+
+    @property
+    def bins(self) -> int:
+        """Number of bins in the underlying histogram."""
+        return len(self.cdf)
+
+    def at_values(self, values) -> np.ndarray:
+        """CDF coordinate (0…1) for each scalar value in ``values``."""
+        values = np.asarray(values, dtype=np.float64)
+        scaled = (values - self.lo) / (self.hi - self.lo) * self.bins
+        idx = np.clip(scaled.astype(np.int64), 0, self.bins - 1)
+        return self.cdf[idx]
+
+    def at_voxels(self, volume) -> np.ndarray:
+        """CDF coordinate of every voxel; same shape as the volume."""
+        data = volume.data if isinstance(volume, Volume) else np.asarray(volume)
+        return self.at_values(data.ravel()).reshape(data.shape)
+
+
+def voxel_cumulative_values(volume, bins: int = 256, domain=None) -> np.ndarray:
+    """One-shot helper: per-voxel cumulative-histogram coordinates."""
+    ch = CumulativeHistogram.of(volume, bins=bins, domain=domain)
+    return ch.at_voxels(volume)
+
+
+def histogram_peaks(counts: np.ndarray, min_separation: int = 3, top: int | None = None):
+    """Locate local maxima of a histogram, strongest first.
+
+    Used by the Fig. 2 experiment to follow the feature's histogram peak
+    across time steps.  A bin is a peak when it strictly exceeds both
+    neighbours; peaks closer than ``min_separation`` bins to a stronger one
+    are suppressed.
+
+    Returns a list of ``(bin_index, count)`` tuples.
+    """
+    counts = np.asarray(counts)
+    if counts.ndim != 1:
+        raise ValueError("counts must be 1D")
+    if len(counts) < 3:
+        return []
+    inner = counts[1:-1]
+    is_peak = (inner > counts[:-2]) & (inner >= counts[2:])
+    candidates = np.nonzero(is_peak)[0] + 1
+    # Strongest-first non-maximum suppression.
+    order = candidates[np.argsort(counts[candidates])[::-1]]
+    kept: list[int] = []
+    for idx in order:
+        if all(abs(idx - k) >= min_separation for k in kept):
+            kept.append(int(idx))
+        if top is not None and len(kept) >= top:
+            break
+    return [(idx, int(counts[idx])) for idx in kept]
+
+
+def histogram_timeline(sequence, bins: int = 256, cumulative: bool = False) -> np.ndarray:
+    """Per-step histograms stacked into a ``(steps, bins)`` array.
+
+    This is the data behind Fig. 2's panels: one histogram row per time
+    step over the *sequence-global* value domain, so bins align across
+    rows and a feature's peak traces a visible path.  With
+    ``cumulative=True`` rows are normalized CDFs instead — the
+    representation in which the Fig. 2 feature path is a flat line.
+
+    Render with :func:`repro.render.image.save_pgm` (rows = time) or plot
+    selected rows with :func:`repro.render.plots.line_chart`.
+    """
+    domain = sequence.value_range
+    rows = []
+    for vol in sequence:
+        if cumulative:
+            rows.append(cumulative_histogram(vol, bins=bins, domain=domain))
+        else:
+            rows.append(histogram(vol, bins=bins, domain=domain).astype(np.float64))
+    return np.stack(rows, axis=0)

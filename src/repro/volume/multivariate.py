@@ -1,0 +1,84 @@
+"""Multivariate volumes — several variables on one grid (paper Sec. 8).
+
+Simulations output many variables per step ("Each time step is a
+480×720×120 volume with *multiple variables*", Sec. 4.2.3), and the paper
+closes on the point that *"the system can take multivariate data as input
+opens a new dimension for scientific discovery"* — the learning engine
+consumes whatever feature vector it is given, so adding variables needs no
+change to the classifier, only to the feature extraction.
+
+:class:`MultiVolume` bundles named scalar fields sharing a grid; its
+``data`` attribute exposes the *primary* field so every single-variable
+API (rendering, histograms, region growing) keeps working, while the
+multivariate feature extractor (:class:`~repro.core.dataspace` side) reads
+the other fields by name.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.volume.grid import Volume, VolumeSequence
+
+
+class MultiVolume(Volume):
+    """A :class:`Volume` carrying additional named scalar fields.
+
+    Parameters
+    ----------
+    fields:
+        ``{name: 3D array}``; all fields must share one grid shape.
+    primary:
+        The field exposed as ``.data`` (rendered / histogrammed by the
+        single-variable machinery).  Defaults to the first field.
+    time, name, masks:
+        As in :class:`Volume`.
+    """
+
+    def __init__(self, fields: dict, primary: str | None = None, time: int = 0,
+                 name: str = "", masks=None) -> None:
+        if not fields:
+            raise ValueError("MultiVolume requires at least one field")
+        self.field_names = list(fields)
+        primary = primary if primary is not None else self.field_names[0]
+        if primary not in fields:
+            raise KeyError(f"primary field {primary!r} not in {self.field_names}")
+        self.primary_name = primary
+        super().__init__(fields[primary], time=time, name=name, masks=dict(masks or {}))
+        shape = self.data.shape
+        self._fields: dict[str, np.ndarray] = {}
+        for fname, arr in fields.items():
+            arr = np.ascontiguousarray(arr, dtype=np.float32)
+            if arr.shape != shape:
+                raise ValueError(
+                    f"field {fname!r} shape {arr.shape} != grid shape {shape}"
+                )
+            self._fields[fname] = arr
+        # keep .data identical to the primary field array
+        self._fields[primary] = self.data
+
+    def field(self, name: str) -> np.ndarray:
+        """The named scalar field (``KeyError`` lists the options)."""
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise KeyError(
+                f"no field {name!r}; available: {self.field_names}"
+            ) from None
+
+    def with_primary(self, name: str) -> "MultiVolume":
+        """A view of the same step with a different primary field."""
+        return MultiVolume(
+            dict(self._fields), primary=name, time=self.time,
+            name=self.name, masks=dict(self.masks),
+        )
+
+
+def is_multivariate(volume) -> bool:
+    """True when ``volume`` carries more than one field."""
+    return isinstance(volume, MultiVolume) and len(volume.field_names) > 1
+
+
+def multivolume_sequence(steps, name: str = "") -> VolumeSequence:
+    """Build a :class:`VolumeSequence` of :class:`MultiVolume` steps."""
+    return VolumeSequence(list(steps), name=name)

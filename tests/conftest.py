@@ -1,0 +1,46 @@
+"""Shared fixtures: small deterministic datasets reused across test modules.
+
+Session-scoped so the procedural generators run once; tests must treat
+fixture volumes as read-only (copy before mutating).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    make_argon_sequence,
+    make_combustion_sequence,
+    make_cosmology_sequence,
+    make_swirl_sequence,
+    make_vortex_sequence,
+)
+
+
+@pytest.fixture(scope="session")
+def argon_small():
+    return make_argon_sequence(shape=(24, 32, 32), times=[195, 210, 225, 240, 255], seed=7)
+
+
+@pytest.fixture(scope="session")
+def combustion_small():
+    return make_combustion_sequence(shape=(16, 48, 32), times=[8, 36, 64, 92, 128], seed=11)
+
+
+@pytest.fixture(scope="session")
+def cosmology_small():
+    return make_cosmology_sequence(shape=(32, 32, 32), times=[130, 250, 310], seed=23, n_blobs=80)
+
+
+@pytest.fixture(scope="session")
+def vortex_small():
+    return make_vortex_sequence(shape=(32, 32, 32), times=list(range(50, 75, 4)), seed=31)
+
+
+@pytest.fixture(scope="session")
+def swirl_small():
+    return make_swirl_sequence(shape=(28, 28, 28), times=[23, 29, 35, 41, 48, 55, 62], seed=43)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

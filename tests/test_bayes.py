@@ -1,0 +1,98 @@
+"""Tests for repro.core.bayes: Gaussian naive Bayes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bayes import GaussianNaiveBayes
+
+
+def gaussian_blobs(n=200, seed=0, sep=3.0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(loc=0.0, size=(n // 2, 3))
+    b = rng.normal(loc=sep, size=(n - n // 2, 3))
+    X = np.concatenate([a, b])
+    y = np.concatenate([np.zeros(n // 2), np.ones(n - n // 2)])
+    return X, y
+
+
+class TestConstruction:
+    def test_var_floor_validated(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes(var_floor=0.0)
+
+    def test_not_fitted(self):
+        nb = GaussianNaiveBayes()
+        assert not nb.is_fitted
+        with pytest.raises(RuntimeError):
+            nb.predict(np.zeros((1, 3)))
+
+
+class TestFit:
+    def test_separable_blobs(self):
+        X, y = gaussian_blobs()
+        nb = GaussianNaiveBayes().fit(X, y)
+        acc = ((nb.predict(X) > 0.5) == (y > 0.5)).mean()
+        assert acc > 0.97
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="both classes"):
+            GaussianNaiveBayes().fit(np.zeros((5, 2)), np.zeros(5))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_variance_floor_on_constant_feature(self):
+        """A painted feature with a single value must not create a
+        zero-variance spike (division by zero downstream)."""
+        X = np.array([[1.0, 0.0], [1.0, 0.1], [2.0, 5.0], [2.0, 5.1]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        nb = GaussianNaiveBayes().fit(X, y)
+        out = nb.predict(np.array([[1.0, 0.05], [2.0, 5.05]]))
+        assert np.isfinite(out).all()
+        assert out[0] < 0.5 < out[1]
+
+    def test_priors_toggle(self):
+        rng = np.random.default_rng(0)
+        # 10:1 imbalance, ambiguous probe exactly between the classes
+        X = np.concatenate([rng.normal(0, 1, (200, 1)), rng.normal(4, 1, (20, 1))])
+        y = np.concatenate([np.zeros(200), np.ones(20)])
+        probe = np.array([[2.0]])
+        with_priors = GaussianNaiveBayes(use_priors=True).fit(X, y).predict(probe)[0]
+        without = GaussianNaiveBayes(use_priors=False).fit(X, y).predict(probe)[0]
+        assert with_priors < without  # priors pull toward the big class
+
+
+class TestPredict:
+    def test_posterior_in_unit_interval(self):
+        X, y = gaussian_blobs()
+        nb = GaussianNaiveBayes().fit(X, y)
+        out = nb.predict(np.random.default_rng(1).normal(size=(50, 3)) * 10)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_extreme_inputs_stable(self):
+        X, y = gaussian_blobs()
+        nb = GaussianNaiveBayes().fit(X, y)
+        out = nb.predict(np.full((2, 3), 1e6))
+        assert np.isfinite(out).all()
+
+    def test_chunked_matches(self):
+        X, y = gaussian_blobs(150)
+        nb = GaussianNaiveBayes().fit(X, y)
+        assert np.allclose(nb.predict(X), nb.predict(X, chunk=11))
+
+    def test_log_likelihood_shape(self):
+        X, y = gaussian_blobs(80)
+        nb = GaussianNaiveBayes().fit(X, y)
+        ll = nb.log_likelihood(X[:5])
+        assert ll.shape == (5, 2)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_posterior_bounds_property(self, seed):
+        X, y = gaussian_blobs(60, seed=seed)
+        nb = GaussianNaiveBayes().fit(X, y)
+        out = nb.predict(np.random.default_rng(seed).normal(size=(20, 3)) * 100)
+        assert np.all((out >= 0) & (out <= 1))

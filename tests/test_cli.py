@@ -1,0 +1,172 @@
+"""Tests for repro.cli: the batch workflow end to end."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def seqdir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "argon"
+    rc = main([
+        "generate", "argon", str(path),
+        "--shape", "20", "28", "28",
+        "--times", "195", "210", "225", "240", "255",
+    ])
+    assert rc == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def iatf_path(seqdir, tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli_iatf") / "iatf.json"
+    rc = main([
+        "train-iatf", str(seqdir),
+        "--key-frames", "195", "255",
+        "--mask", "ring",
+        "--out", str(out),
+        "--epochs", "150",
+    ])
+    assert rc == 0
+    return out
+
+
+class TestGenerateInfo:
+    def test_generate_writes_sequence(self, seqdir):
+        assert (seqdir / "sequence.json").exists()
+        manifest = json.loads((seqdir / "sequence.json").read_text())
+        assert manifest["times"] == [195, 210, 225, 240, 255]
+
+    def test_info_reports_steps(self, seqdir, capsys):
+        assert main(["info", str(seqdir)]) == 0
+        out = capsys.readouterr().out
+        assert "steps: 5" in out
+        assert "ring" in out
+
+    def test_generate_all_datasets(self, tmp_path):
+        for name in ("vortex", "swirl"):
+            rc = main([
+                "generate", name, str(tmp_path / name),
+                "--shape", "12", "12", "12", "--times", "1", "2",
+            ])
+            assert rc == 0
+
+
+class TestTrainApplyIATF:
+    def test_iatf_saved(self, iatf_path):
+        payload = json.loads(iatf_path.read_text())
+        assert len(payload["value_nets"]) == 5
+        assert len(payload["cumhist_nets"]) == 5
+        assert len(payload["key_frames"]) == 2
+
+    def test_apply_reports_retention(self, seqdir, iatf_path, capsys):
+        rc = main(["apply-iatf", str(seqdir), str(iatf_path), "--mask", "ring"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "retention" in out
+        # every step listed, and the key frames near-perfectly retained
+        lines = [ln.split() for ln in out.splitlines() if ln.strip().startswith(("195", "255"))]
+        for parts in lines:
+            assert float(parts[-1]) > 0.9
+
+    def test_apply_saves_tfs(self, seqdir, iatf_path, tmp_path, capsys):
+        out = tmp_path / "tfs.json"
+        rc = main(["apply-iatf", str(seqdir), str(iatf_path), "--out", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert set(payload) == {"195", "210", "225", "240", "255"}
+
+
+class TestRender:
+    def test_render_static_box(self, seqdir, tmp_path, capsys):
+        rc = main([
+            "render", str(seqdir), "--out", str(tmp_path / "frames"),
+            "--size", "32", "--no-shading",
+        ])
+        assert rc == 0
+        frames = sorted((tmp_path / "frames").glob("*.ppm"))
+        assert len(frames) == 5
+
+    def test_render_with_iatf(self, seqdir, iatf_path, tmp_path, capsys):
+        rc = main([
+            "render", str(seqdir), "--out", str(tmp_path / "frames"),
+            "--iatf", str(iatf_path), "--size", "32", "--no-shading",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+
+
+class TestTrack:
+    def seed_args(self, seqdir):
+        from repro.volume.io import load_sequence
+
+        seq = load_sequence(seqdir)
+        coords = np.argwhere(seq[0].mask("ring"))
+        z, y, x = map(int, coords[len(coords) // 2])
+        return ["--seed-voxel", "0", str(z), str(y), str(x)]
+
+    def test_track_fixed(self, seqdir, capsys):
+        from repro.data.argon import ring_value_band
+        from repro.volume.io import load_sequence
+
+        seq = load_sequence(seqdir)
+        lo, hi = ring_value_band(seq, 195)
+        rc = main(["track", str(seqdir), *self.seed_args(seqdir),
+                   "--range", str(lo), str(hi)])
+        assert rc == 0
+        assert "criterion: fixed" in capsys.readouterr().out
+
+    def test_track_adaptive_saves_masks(self, seqdir, iatf_path, tmp_path, capsys):
+        out = tmp_path / "masks.npy"
+        rc = main(["track", str(seqdir), *self.seed_args(seqdir),
+                   "--iatf", str(iatf_path), "--out", str(out)])
+        assert rc == 0
+        masks = np.load(out)
+        assert masks.shape[0] == 5
+        assert masks.any()
+
+    def test_track_requires_criterion(self, seqdir):
+        with pytest.raises(SystemExit):
+            main(["track", str(seqdir), "--seed-voxel", "0", "0", "0", "0"])
+
+
+class TestCLIVariants:
+    def test_render_with_box_range(self, seqdir, tmp_path):
+        from repro.volume.io import load_sequence
+
+        seq = load_sequence(seqdir)
+        lo, hi = seq.value_range
+        rc = main([
+            "render", str(seqdir), "--out", str(tmp_path / "frames"),
+            "--box", str(lo + 0.5 * (hi - lo)), str(hi),
+            "--size", "24", "--no-shading",
+        ])
+        assert rc == 0
+        assert len(list((tmp_path / "frames").glob("*.ppm"))) == 5
+
+    def test_apply_iatf_parallel_workers(self, seqdir, iatf_path, capsys):
+        rc = main(["apply-iatf", str(seqdir), str(iatf_path),
+                   "--mask", "ring", "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "retention" in out
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "tornado", str(tmp_path / "x")])
+
+    def test_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_info_empty_mask_dataset(self, tmp_path, capsys):
+        rc = main(["generate", "combustion", str(tmp_path / "c"),
+                   "--shape", "8", "24", "16", "--times", "8", "128"])
+        assert rc == 0
+        assert main(["info", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "mixing_layer" in out

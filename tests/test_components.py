@@ -1,0 +1,122 @@
+"""Tests for repro.segmentation.components: labeling and attributes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.segmentation import feature_attributes, label_components
+
+
+def three_blobs():
+    mask = np.zeros((12, 12, 12), dtype=bool)
+    mask[0:3, 0:3, 0:3] = True  # 27 voxels
+    mask[5:7, 5:7, 5:7] = True  # 8 voxels
+    mask[10, 10, 10] = True  # 1 voxel
+    return mask
+
+
+class TestLabelComponents:
+    @pytest.mark.parametrize("backend", ["scipy", "bfs"])
+    def test_counts_components(self, backend):
+        labels, n = label_components(three_blobs(), backend=backend)
+        assert n == 3
+        assert labels.max() == 3
+        assert labels[three_blobs()].min() >= 1
+
+    @pytest.mark.parametrize("backend", ["scipy", "bfs"])
+    def test_empty_mask(self, backend):
+        labels, n = label_components(np.zeros((4, 4, 4), dtype=bool), backend=backend)
+        assert n == 0
+        assert not labels.any()
+
+    def test_backend_partition_agreement(self):
+        """Label ids may differ between backends but the partition must match."""
+        rng = np.random.default_rng(3)
+        mask = rng.random((10, 10, 10)) > 0.6
+        la, na = label_components(mask, backend="scipy")
+        lb, nb = label_components(mask, backend="bfs")
+        assert na == nb
+        # same-component in a  <=>  same-component in b
+        for lab in range(1, na + 1):
+            ids_b = np.unique(lb[la == lab])
+            assert len(ids_b) == 1
+
+    def test_connectivity_matters(self):
+        mask = np.zeros((3, 3, 3), dtype=bool)
+        mask[0, 0, 0] = True
+        mask[1, 1, 1] = True
+        _, n_face = label_components(mask, connectivity=1)
+        _, n_full = label_components(mask, connectivity=3)
+        assert n_face == 2
+        assert n_full == 1
+
+    def test_4d_labeling(self):
+        stack = np.zeros((3, 4, 4, 4), dtype=bool)
+        stack[0, 0, 0, 0] = True
+        stack[1, 0, 0, 0] = True  # temporally adjacent -> same 4D component
+        stack[2, 3, 3, 3] = True
+        _, n = label_components(stack, connectivity=1)
+        assert n == 2
+
+    def test_bad_backend(self):
+        with pytest.raises(ValueError):
+            label_components(three_blobs(), backend="quantum")
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_label_count_matches_bfs_property(self, seed):
+        mask = np.random.default_rng(seed).random((7, 7, 7)) > 0.5
+        _, na = label_components(mask, backend="scipy")
+        _, nb = label_components(mask, backend="bfs")
+        assert na == nb
+
+
+class TestFeatureAttributes:
+    def test_sizes(self):
+        labels, n = label_components(three_blobs())
+        attrs = feature_attributes(labels, n)
+        sizes = sorted(a.voxels for a in attrs)
+        assert sizes == [1, 8, 27]
+
+    def test_centroid_of_box(self):
+        mask = np.zeros((8, 8, 8), dtype=bool)
+        mask[2:4, 2:4, 2:4] = True
+        labels, n = label_components(mask)
+        (attr,) = feature_attributes(labels, n)
+        assert attr.centroid == (2.5, 2.5, 2.5)
+
+    def test_bbox(self):
+        mask = np.zeros((8, 8, 8), dtype=bool)
+        mask[1:5, 2:6, 3:7] = True
+        labels, n = label_components(mask)
+        (attr,) = feature_attributes(labels, n)
+        assert attr.bbox_min == (1, 2, 3)
+        assert attr.bbox_max == (4, 5, 6)
+        assert attr.extent == (4, 4, 4)
+
+    def test_mass_with_data(self):
+        mask = np.zeros((4, 4, 4), dtype=bool)
+        mask[0, 0, :2] = True
+        data = np.full((4, 4, 4), 2.5)
+        labels, n = label_components(mask)
+        (attr,) = feature_attributes(labels, n, data=data)
+        assert attr.mass == pytest.approx(5.0)
+
+    def test_mass_without_data_zero(self):
+        labels, n = label_components(three_blobs())
+        for attr in feature_attributes(labels, n):
+            assert attr.mass == 0.0
+
+    def test_data_shape_mismatch(self):
+        labels, n = label_components(three_blobs())
+        with pytest.raises(ValueError):
+            feature_attributes(labels, n, data=np.zeros((2, 2, 2)))
+
+    def test_empty(self):
+        assert feature_attributes(np.zeros((3, 3, 3), dtype=np.int32), 0) == []
+
+    def test_voxel_conservation(self):
+        labels, n = label_components(three_blobs())
+        attrs = feature_attributes(labels, n)
+        assert sum(a.voxels for a in attrs) == three_blobs().sum()

@@ -1,0 +1,93 @@
+"""Tests for repro.volume.compression: quantization + DEFLATE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.volume import Volume
+from repro.volume.compression import CompressedVolume, compress_volume
+
+
+def smooth_volume(shape=(24, 24, 24), seed=0):
+    from repro.data.fields import smooth_noise
+
+    return smooth_noise(shape, seed=seed, sigma=2.0) * 10.0 - 3.0
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("bits", [8, 16])
+    @pytest.mark.parametrize("delta", [True, False])
+    def test_error_bound_respected(self, bits, delta):
+        data = smooth_volume()
+        comp = compress_volume(data, bits=bits, delta=delta)
+        back = comp.decompress()
+        err = np.abs(back.data.astype(np.float64) - data).max()
+        assert err <= comp.max_abs_error * 1.001 + 1e-6
+
+    def test_16bit_tighter_than_8bit(self):
+        data = smooth_volume()
+        e8 = compress_volume(data, bits=8).max_abs_error
+        e16 = compress_volume(data, bits=16).max_abs_error
+        assert e16 < e8 / 100
+
+    def test_constant_volume(self):
+        comp = compress_volume(np.full((8, 8, 8), 3.5, dtype=np.float32))
+        back = comp.decompress()
+        assert np.allclose(back.data, 3.5)
+        assert comp.max_abs_error == 0.0
+
+    def test_metadata_carried(self):
+        vol = Volume(smooth_volume(), time=42, name="argon")
+        back = compress_volume(vol).decompress()
+        assert back.time == 42
+        assert back.name == "argon"
+
+    @given(seed=st.integers(0, 200), bits=st.sampled_from([8, 16]))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(6, 7, 8)).astype(np.float32)
+        comp = compress_volume(data, bits=bits)
+        back = comp.decompress()
+        assert np.abs(back.data - data).max() <= comp.max_abs_error * 1.001 + 1e-6
+
+
+class TestCompressionRatio:
+    def test_smooth_field_compresses_well(self):
+        data = smooth_volume(shape=(32, 32, 32))
+        comp = compress_volume(data, bits=8, delta=True)
+        # 4x from quantization alone, plus entropy-coding gains on top
+        assert comp.compression_ratio > 5.0
+
+    def test_delta_helps_on_smooth_fields(self):
+        data = smooth_volume(shape=(32, 32, 32))
+        with_delta = compress_volume(data, bits=8, delta=True).compressed_bytes
+        without = compress_volume(data, bits=8, delta=False).compressed_bytes
+        assert with_delta < without
+
+    def test_noise_barely_compresses(self):
+        rng = np.random.default_rng(0)
+        noise = rng.random((16, 16, 16)).astype(np.float32)
+        comp = compress_volume(noise, bits=8, delta=False)
+        assert comp.compression_ratio < 6.0  # ~4x quantization, little more
+
+    def test_byte_accounting(self):
+        data = smooth_volume()
+        comp = compress_volume(data)
+        assert comp.raw_bytes == data.size * 4
+        assert comp.compressed_bytes == len(comp.payload)
+
+
+class TestValidation:
+    def test_bits_validated(self):
+        with pytest.raises(ValueError):
+            compress_volume(np.zeros((2, 2, 2)), bits=12)
+
+    def test_level_validated(self):
+        with pytest.raises(ValueError):
+            compress_volume(np.zeros((2, 2, 2)), level=0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            compress_volume(np.zeros((4, 4)))

@@ -1,0 +1,216 @@
+"""Tests for repro.data: the synthetic dataset generators.
+
+Each generator must exhibit the data property its figure depends on
+(DESIGN.md §1); these tests pin those properties down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    make_argon_sequence,
+    make_combustion_sequence,
+    make_cosmology_sequence,
+    make_swirl_sequence,
+    make_vortex_sequence,
+)
+from repro.data import fields
+from repro.data.argon import ring_value_at
+from repro.data.swirl import feature_peak_at
+from repro.segmentation import label_components
+
+
+class TestFields:
+    def test_coordinate_grids_range(self):
+        Z, Y, X = fields.coordinate_grids((4, 6, 8))
+        assert Z.shape == (4, 6, 8)
+        assert 0 < Z.min() < Z.max() < 1
+
+    def test_gaussian_blob_peak_at_center(self):
+        grids = fields.coordinate_grids((16, 16, 16))
+        blob = fields.gaussian_blob(grids, (0.5, 0.5, 0.5), 0.1)
+        assert blob.max() == blob[8, 8, 8]
+        assert blob[0, 0, 0] < 0.01
+
+    def test_gaussian_blob_sigma_validated(self):
+        grids = fields.coordinate_grids((4, 4, 4))
+        with pytest.raises(ValueError):
+            fields.gaussian_blob(grids, (0.5, 0.5, 0.5), 0.0)
+
+    def test_torus_field_ring_shape(self):
+        grids = fields.coordinate_grids((32, 32, 32))
+        torus = fields.torus_field(grids, (0.5, 0.5, 0.5), 0.25, 0.05, axis=2)
+        # strong on the ring circle, weak at center and far corner
+        assert torus[16, 24, 16] > 0.9  # y offset = major radius
+        assert torus[16, 16, 16] < 0.05  # center hole
+        assert torus[0, 0, 0] < 0.01
+
+    def test_tube_field_along_segment(self):
+        grids = fields.coordinate_grids((24, 24, 24))
+        pts = [(0.2, 0.5, 0.5), (0.8, 0.5, 0.5)]
+        tube = fields.tube_field(grids, pts, 0.06)
+        assert tube[12, 12, 12] > 0.85  # on the axis (voxel center slightly off)
+        assert tube[12, 2, 2] < 0.01
+
+    def test_tube_field_validation(self):
+        grids = fields.coordinate_grids((4, 4, 4))
+        with pytest.raises(ValueError):
+            fields.tube_field(grids, [(0.5, 0.5, 0.5)], 0.1)  # one point
+        with pytest.raises(ValueError):
+            fields.tube_field(grids, [(0, 0, 0), (1, 1, 1)], 0.0)
+
+    def test_smooth_noise_range_and_determinism(self):
+        a = fields.smooth_noise((8, 8, 8), seed=5)
+        b = fields.smooth_noise((8, 8, 8), seed=5)
+        assert np.array_equal(a, b)
+        assert a.min() == pytest.approx(0.0)
+        assert a.max() == pytest.approx(1.0)
+
+    def test_scatter_blobs_count(self):
+        grids = fields.coordinate_grids((20, 20, 20))
+        centers = [(0.25, 0.25, 0.25), (0.75, 0.75, 0.75)]
+        out = fields.scatter_blobs(grids, centers, 0.05)
+        labels, n = label_components(out > 0.5)
+        assert n == 2
+
+    def test_scatter_blobs_validation(self):
+        grids = fields.coordinate_grids((4, 4, 4))
+        with pytest.raises(ValueError):
+            fields.scatter_blobs(grids, [(0.5, 0.5)], 0.1)
+
+
+class TestArgon:
+    def test_deterministic(self):
+        a = make_argon_sequence(shape=(16, 20, 20), times=[195, 255], seed=3)
+        b = make_argon_sequence(shape=(16, 20, 20), times=[195, 255], seed=3)
+        assert np.array_equal(a[0].data, b[0].data)
+
+    def test_ring_value_drifts(self, argon_small):
+        v0 = ring_value_at(argon_small, 195)
+        v1 = ring_value_at(argon_small, 255)
+        assert v1 - v0 > 0.2
+
+    def test_ring_mask_nonempty_every_step(self, argon_small):
+        for vol in argon_small:
+            assert vol.mask("ring").sum() > 50
+
+    def test_ring_moves_spatially(self, argon_small):
+        from repro.segmentation import feature_attributes, label_components
+
+        def centroid_x(vol):
+            labels, n = label_components(vol.mask("ring"))
+            attrs = feature_attributes(labels, n)
+            biggest = max(attrs, key=lambda a: a.voxels)
+            return biggest.centroid[2]
+
+        assert centroid_x(argon_small.at_time(255)) > centroid_x(argon_small.at_time(195)) + 3
+
+    def test_value_range_shifts_over_time(self, argon_small):
+        lo0, hi0 = argon_small.at_time(195).value_range
+        lo1, hi1 = argon_small.at_time(255).value_range
+        assert lo1 > lo0 + 0.2  # the whole range moved up
+
+
+class TestCombustion:
+    def test_vorticity_range_grows(self, combustion_small):
+        first = combustion_small.at_time(8).value_range[1]
+        last = combustion_small.at_time(128).value_range[1]
+        assert last > 2.0 * first
+
+    def test_mixing_layer_mask_present(self, combustion_small):
+        for vol in combustion_small:
+            frac = vol.mask("mixing_layer").mean()
+            assert 0.02 < frac < 0.8
+
+    def test_vorticity_concentrated_in_layer(self, combustion_small):
+        vol = combustion_small.at_time(64)
+        layer = vol.mask("mixing_layer")
+        assert vol.data[layer].mean() > 2.0 * vol.data[~layer].mean()
+
+    def test_nonnegative(self, combustion_small):
+        for vol in combustion_small:
+            assert vol.data.min() >= 0.0
+
+
+class TestCosmology:
+    def test_masks_disjoint(self, cosmology_small):
+        for vol in cosmology_small:
+            assert not (vol.mask("large") & vol.mask("small")).any()
+
+    def test_value_overlap_between_sizes(self, cosmology_small):
+        """Tiny blobs share the large structures' value range — the reason
+        a 1D TF cannot separate them (Fig. 7)."""
+        vol = cosmology_small.at_time(310)
+        large_vals = vol.data[vol.mask("large")]
+        small_vals = vol.data[vol.mask("small")]
+        lo = max(np.quantile(large_vals, 0.25), np.quantile(small_vals, 0.25))
+        hi = min(np.quantile(large_vals, 0.75), np.quantile(small_vals, 0.75))
+        assert hi > lo  # interquartile ranges overlap
+
+    def test_many_small_features(self, cosmology_small):
+        vol = cosmology_small.at_time(310)
+        labels, n = label_components(vol.mask("small"))
+        assert n > 20
+
+    def test_large_structures_persist_small_reshuffle(self, cosmology_small):
+        a = cosmology_small.at_time(130)
+        b = cosmology_small.at_time(310)
+        from repro.metrics import jaccard
+
+        assert jaccard(a.mask("large"), b.mask("large")) > 0.3
+        assert jaccard(a.mask("small"), b.mask("small")) < 0.2
+
+
+class TestVortex:
+    def test_single_component_before_split(self, vortex_small):
+        vol = vortex_small.at_time(54)
+        labels, n = label_components(vol.mask("vortex"))
+        assert n == 1
+
+    def test_two_components_after_split(self, vortex_small):
+        vol = vortex_small.at_time(74)
+        labels, n = label_components(vol.mask("vortex"))
+        assert n == 2
+
+    def test_consecutive_steps_overlap(self, vortex_small):
+        """The Sec. 5 tracking assumption: matching features overlap in 3D."""
+        for a, b in zip(list(vortex_small)[:-1], list(vortex_small)[1:]):
+            assert (a.mask("vortex") & b.mask("vortex")).sum() > 10
+
+    def test_vortex_translates(self, vortex_small):
+        from repro.segmentation import feature_attributes, label_components
+
+        def cx(vol):
+            labels, n = label_components(vol.mask("vortex"))
+            attrs = feature_attributes(labels, n)
+            return max(attrs, key=lambda a: a.voxels).centroid[2]
+
+        assert cx(vortex_small.at_time(74)) > cx(vortex_small.at_time(50)) + 5
+
+
+class TestSwirl:
+    def test_peak_decays(self, swirl_small):
+        p0 = feature_peak_at(swirl_small, 23)
+        p1 = feature_peak_at(swirl_small, 62)
+        assert p1 < 0.6 * p0
+
+    def test_feature_mask_persists(self, swirl_small):
+        for vol in swirl_small:
+            assert vol.mask("feature").sum() > 100
+
+    def test_fixed_threshold_eventually_fails(self, swirl_small):
+        """A criterion fixed at the initial value range loses the feature —
+        the Fig. 10 setup."""
+        p0 = feature_peak_at(swirl_small, 23)
+        threshold = 0.7 * p0
+        last = swirl_small.at_time(62)
+        above = (last.data > threshold) & last.mask("feature")
+        assert above.sum() == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            make_swirl_sequence(peak_start=0.3, peak_end=0.5)
+
+    def test_consecutive_overlap(self, swirl_small):
+        for a, b in zip(list(swirl_small)[:-1], list(swirl_small)[1:]):
+            assert (a.mask("feature") & b.mask("feature")).sum() > 10

@@ -1,0 +1,120 @@
+"""Tests for repro.core.engines: the pluggable learning-engine protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataSpaceClassifier, ShellFeatureExtractor
+from repro.core.engines import BayesEngine, MLPEngine, SVMEngine, make_engine
+
+
+def circle_problem(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 2))
+    y = ((X[:, 0] - 0.5) ** 2 + (X[:, 1] - 0.5) ** 2 < 0.09).astype(float)
+    return X, y
+
+
+class TestMakeEngine:
+    def test_builds_each_engine(self):
+        assert isinstance(make_engine("mlp", 4), MLPEngine)
+        assert isinstance(make_engine("svm", 4), SVMEngine)
+        assert isinstance(make_engine("bayes", 4), BayesEngine)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            make_engine("hmm", 4)
+
+    def test_n_inputs_exposed(self):
+        for name in ("mlp", "svm", "bayes"):
+            assert make_engine(name, 7).n_inputs == 7
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("name", ["mlp", "svm", "bayes"])
+    def test_train_predict_cycle(self, name):
+        X, y = circle_problem()
+        engine = make_engine(name, 2, seed=1)
+        loss = engine.train_full(X, y)
+        assert np.isfinite(loss)
+        pred = engine.predict(X)
+        assert pred.shape == (len(X),)
+        assert pred.min() >= 0.0 and pred.max() <= 1.0
+        acc = ((pred > 0.5) == (y > 0.5)).mean()
+        # RBF SVM and MLP solve the circle; naive Bayes (axis-aligned
+        # Gaussians) only partially — it still must beat chance clearly.
+        assert acc > (0.9 if name != "bayes" else 0.6)
+
+    @pytest.mark.parametrize("name", ["mlp", "svm", "bayes"])
+    def test_train_more_improves_or_holds(self, name):
+        X, y = circle_problem()
+        engine = make_engine(name, 2, seed=1)
+        engine.train_full(X, y)
+        loss = engine.train_more(X, y, epochs=20)
+        assert np.isfinite(loss)
+
+    @pytest.mark.parametrize("name", ["mlp", "svm", "bayes"])
+    def test_input_subset(self, name):
+        engine = make_engine(name, 3, seed=0)
+        sub = engine.with_input_subset([0, 2])
+        assert sub.n_inputs == 2
+
+    def test_incremental_flags(self):
+        assert MLPEngine(2).incremental
+        assert not SVMEngine(2).incremental
+        assert not BayesEngine(2).incremental
+
+
+class TestClassifierWithEngines:
+    def make_training(self, cosmology_small):
+        vol = cosmology_small.at_time(310)
+        rng = np.random.default_rng(0)
+        large, small = vol.mask("large"), vol.mask("small")
+
+        def sample(mask, n):
+            coords = np.argwhere(mask)
+            sel = coords[rng.choice(len(coords), size=min(n, len(coords)), replace=False)]
+            m = np.zeros(mask.shape, dtype=bool)
+            m[tuple(sel.T)] = True
+            return m
+
+        return vol, sample(large, 100), sample(small, 60) | sample(~(large | small), 60)
+
+    @pytest.mark.parametrize("engine", ["svm", "bayes"])
+    def test_classifier_with_alternative_engine(self, cosmology_small, engine):
+        vol, pos, neg = self.make_training(cosmology_small)
+        clf = DataSpaceClassifier(ShellFeatureExtractor(radius=2), seed=3, engine=engine)
+        clf.add_examples(vol, positive_mask=pos, negative_mask=neg)
+        history = clf.train()
+        assert len(history) >= 1
+        cert = clf.classify(vol)
+        assert cert.shape == vol.shape
+        from repro.metrics import feature_retention
+
+        assert feature_retention(cert, vol.mask("large"), 0.5) > 0.6
+
+    def test_engine_instance_accepted(self, cosmology_small):
+        vol, pos, neg = self.make_training(cosmology_small)
+        ex = ShellFeatureExtractor(radius=2)
+        engine = SVMEngine(ex.n_features, seed=1)
+        clf = DataSpaceClassifier(ex, engine=engine)
+        assert clf.engine is engine
+
+    def test_engine_input_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="inputs"):
+            DataSpaceClassifier(ShellFeatureExtractor(radius=2), engine=SVMEngine(3))
+
+    def test_net_property_mlp_only(self, cosmology_small):
+        clf_mlp = DataSpaceClassifier(ShellFeatureExtractor(radius=2), engine="mlp")
+        assert clf_mlp.net is clf_mlp.engine.net
+        clf_svm = DataSpaceClassifier(ShellFeatureExtractor(radius=2), engine="svm")
+        with pytest.raises(AttributeError):
+            _ = clf_svm.net
+
+    def test_with_features_keeps_engine_kind(self, cosmology_small):
+        vol, pos, neg = self.make_training(cosmology_small)
+        clf = DataSpaceClassifier(ShellFeatureExtractor(radius=2), engine="bayes")
+        clf.add_examples(vol, positive_mask=pos, negative_mask=neg)
+        sub = clf.with_features(["value", "shell_0", "shell_1"])
+        assert isinstance(sub.engine, BayesEngine)
+        sub.train()
+        assert sub.classify_slice(vol, 0, 5).shape == vol.shape[1:]

@@ -1,0 +1,110 @@
+"""Tests for repro.segmentation.events: overlap graph and event detection."""
+
+import numpy as np
+import pytest
+
+from repro.segmentation import detect_events, overlap_graph
+from repro.segmentation.events import track_timeline
+
+
+def labeled(shape=(6, 6, 6), **regions):
+    """Build a label map from {id: (slices)} region specs."""
+    out = np.zeros(shape, dtype=np.int32)
+    for lab, region in regions.items():
+        out[region] = int(lab)
+    return out
+
+
+class TestOverlapGraph:
+    def test_basic_overlap_counts(self):
+        a = labeled(**{"1": (slice(0, 3), slice(0, 3), slice(0, 3))})
+        b = labeled(**{"2": (slice(1, 4), slice(0, 3), slice(0, 3))})
+        graph = overlap_graph(a, b)
+        assert graph == {(1, 2): 2 * 3 * 3}
+
+    def test_no_overlap_empty(self):
+        a = labeled(**{"1": (slice(0, 2), slice(0, 2), slice(0, 2))})
+        b = labeled(**{"1": (slice(4, 6), slice(4, 6), slice(4, 6))})
+        assert overlap_graph(a, b) == {}
+
+    def test_min_overlap_filters(self):
+        a = labeled(**{"1": (slice(0, 1), slice(0, 1), slice(0, 1))})
+        b = labeled(**{"1": (slice(0, 1), slice(0, 1), slice(0, 1))})
+        assert overlap_graph(a, b, min_overlap=2) == {}
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            overlap_graph(np.zeros((2, 2, 2), int), np.zeros((3, 3, 3), int))
+
+    def test_min_overlap_validated(self):
+        a = np.zeros((2, 2, 2), int)
+        with pytest.raises(ValueError):
+            overlap_graph(a, a, min_overlap=0)
+
+
+class TestDetectEvents:
+    def test_continuation(self):
+        a = labeled(**{"1": (slice(0, 3),) * 3})
+        b = labeled(**{"1": (slice(1, 4),) * 3})
+        events = detect_events(a, b, time_a=10, time_b=11)
+        kinds = {e.kind for e in events}
+        assert kinds == {"continuation"}
+        (e,) = events
+        assert e.time_a == 10 and e.time_b == 11
+        assert e.sources == (1,) and e.targets == (1,)
+
+    def test_split(self):
+        a = labeled(**{"1": (slice(0, 6), slice(0, 3), slice(0, 3))})
+        b = np.zeros((6, 6, 6), dtype=np.int32)
+        b[0:2, 0:3, 0:3] = 1
+        b[4:6, 0:3, 0:3] = 2
+        events = detect_events(a, b)
+        splits = [e for e in events if e.kind == "split"]
+        assert len(splits) == 1
+        assert splits[0].sources == (1,)
+        assert splits[0].targets == (1, 2)
+
+    def test_merge(self):
+        a = np.zeros((6, 6, 6), dtype=np.int32)
+        a[0:2, 0:3, 0:3] = 1
+        a[4:6, 0:3, 0:3] = 2
+        b = labeled(**{"1": (slice(0, 6), slice(0, 3), slice(0, 3))})
+        events = detect_events(a, b)
+        merges = [e for e in events if e.kind == "merge"]
+        assert len(merges) == 1
+        assert merges[0].sources == (1, 2)
+
+    def test_birth_and_death(self):
+        a = labeled(**{"1": (slice(0, 2),) * 3})
+        b = labeled(**{"1": (slice(4, 6),) * 3})
+        kinds = sorted(e.kind for e in detect_events(a, b))
+        assert kinds == ["birth", "death"]
+
+    def test_empty_steps_no_events(self):
+        z = np.zeros((4, 4, 4), dtype=np.int32)
+        assert detect_events(z, z) == []
+
+
+class TestTrackTimeline:
+    def test_timeline_over_vortex_ground_truth(self, vortex_small):
+        """The Fig. 9 storyline: continuations, then a split near the end."""
+        from repro.segmentation import label_components
+
+        labelings = [label_components(v.mask("vortex"))[0] for v in vortex_small]
+        events = track_timeline(labelings, times=vortex_small.times)
+        kinds = [e.kind for e in events]
+        assert "split" in kinds
+        split_events = [e for e in events if e.kind == "split"]
+        assert all(e.time_a >= 62 for e in split_events)  # split happens late
+        # before the split every transition is a pure continuation
+        early = [e for e in events if e.time_b <= 62]
+        assert all(e.kind == "continuation" for e in early)
+
+    def test_length_mismatch(self):
+        z = np.zeros((2, 2, 2), dtype=np.int32)
+        with pytest.raises(ValueError):
+            track_timeline([z, z], times=[0])
+
+    def test_default_times(self):
+        z = np.zeros((2, 2, 2), dtype=np.int32)
+        assert track_timeline([z, z, z]) == []

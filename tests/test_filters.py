@@ -1,0 +1,108 @@
+"""Tests for repro.volume.filters: the Fig. 7 blur baselines."""
+
+import numpy as np
+import pytest
+
+from repro.volume import Volume, box_smooth, gaussian_smooth, iterated_smooth, median_smooth
+
+
+def noisy_volume(seed=0, shape=(16, 16, 16)):
+    rng = np.random.default_rng(seed)
+    return rng.random(shape).astype(np.float32)
+
+
+class TestBoxSmooth:
+    def test_reduces_variance(self):
+        data = noisy_volume()
+        out = box_smooth(data, radius=1)
+        assert out.var() < data.var()
+
+    def test_preserves_mean_roughly(self):
+        data = noisy_volume(1)
+        out = box_smooth(data, radius=2)
+        assert out.mean() == pytest.approx(data.mean(), abs=0.01)
+
+    def test_radius_zero_is_copy(self):
+        data = noisy_volume(2)
+        out = box_smooth(data, radius=0)
+        assert np.array_equal(out, data)
+        assert out is not data
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            box_smooth(noisy_volume(), radius=-1)
+
+    def test_volume_wrapper_roundtrip(self):
+        vol = Volume(noisy_volume(3), time=7, masks={"m": np.zeros((16, 16, 16), bool)})
+        out = box_smooth(vol, radius=1)
+        assert isinstance(out, Volume)
+        assert out.time == 7
+        assert "m" in out.masks
+
+    def test_input_not_mutated(self):
+        data = noisy_volume(4)
+        before = data.copy()
+        box_smooth(data, radius=1)
+        assert np.array_equal(data, before)
+
+
+class TestIteratedSmooth:
+    def test_more_iterations_smoother(self):
+        data = noisy_volume(5)
+        v1 = iterated_smooth(data, radius=1, iterations=1).var()
+        v5 = iterated_smooth(data, radius=1, iterations=5).var()
+        assert v5 < v1
+
+    def test_removes_small_blobs_and_detail(self):
+        """The Fig. 7 failure mode: blur kills tiny features *and* large-
+        feature detail together."""
+        shape = (24, 24, 24)
+        base = np.zeros(shape, dtype=np.float32)
+        base[4:20, 4:20, 4:20] = 1.0  # large structure
+        rng = np.random.default_rng(6)
+        detail = rng.random(shape).astype(np.float32) * 0.3
+        spot = np.zeros(shape, dtype=np.float32)
+        spot[2, 2, 2] = 1.0  # tiny feature
+        data = base + detail + spot
+        out = iterated_smooth(data, radius=1, iterations=4)
+        assert out[2, 2, 2] < 0.3  # tiny feature gone
+        interior = out[8:16, 8:16, 8:16]
+        assert interior.std() < detail[8:16, 8:16, 8:16].std() * 0.5  # detail gone too
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            iterated_smooth(noisy_volume(), iterations=0)
+
+
+class TestGaussianSmooth:
+    def test_reduces_variance(self):
+        data = noisy_volume(7)
+        assert gaussian_smooth(data, sigma=1.5).var() < data.var()
+
+    def test_sigma_validated(self):
+        with pytest.raises(ValueError):
+            gaussian_smooth(noisy_volume(), sigma=0.0)
+
+    def test_larger_sigma_smoother(self):
+        data = noisy_volume(8)
+        assert gaussian_smooth(data, 3.0).var() < gaussian_smooth(data, 1.0).var()
+
+
+class TestMedianSmooth:
+    def test_removes_salt_noise_keeps_edge(self):
+        data = np.zeros((12, 12, 12), dtype=np.float32)
+        data[:, :, 6:] = 1.0  # step edge
+        data[3, 3, 2] = 1.0  # salt voxel
+        out = median_smooth(data, radius=1)
+        assert out[3, 3, 2] == 0.0
+        assert out[6, 6, 8] == 1.0
+        assert out[6, 6, 2] == 0.0
+
+    def test_radius_zero_copy(self):
+        data = noisy_volume(9)
+        out = median_smooth(data, radius=0)
+        assert np.array_equal(out, data)
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            median_smooth(noisy_volume(), radius=-2)

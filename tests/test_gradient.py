@@ -1,0 +1,79 @@
+"""Tests for repro.volume.gradient: gradients, vorticity."""
+
+import numpy as np
+import pytest
+
+from repro.volume import Volume
+from repro.volume.gradient import gradient, gradient_magnitude, vorticity, vorticity_magnitude
+
+
+def linear_field(shape=(8, 8, 8), cz=1.0, cy=2.0, cx=3.0):
+    z, y, x = np.meshgrid(*(np.arange(s, dtype=np.float32) for s in shape), indexing="ij")
+    return cz * z + cy * y + cx * x
+
+
+class TestGradient:
+    def test_linear_field_exact(self):
+        g = gradient(linear_field())
+        assert np.allclose(g[0], 1.0, atol=1e-5)
+        assert np.allclose(g[1], 2.0, atol=1e-5)
+        assert np.allclose(g[2], 3.0, atol=1e-5)
+
+    def test_spacing_scales(self):
+        g1 = gradient(linear_field(), spacing=1.0)
+        g2 = gradient(linear_field(), spacing=2.0)
+        assert np.allclose(g2, g1 / 2.0, atol=1e-5)
+
+    def test_accepts_volume(self):
+        g = gradient(Volume(linear_field()))
+        assert g.shape == (3, 8, 8, 8)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            gradient(np.zeros((4, 4)))
+
+    def test_magnitude_of_linear(self):
+        gm = gradient_magnitude(linear_field())
+        assert np.allclose(gm, np.sqrt(1 + 4 + 9), atol=1e-4)
+
+    def test_constant_field_zero(self):
+        gm = gradient_magnitude(np.full((5, 5, 5), 3.0))
+        assert np.allclose(gm, 0.0)
+
+
+class TestVorticity:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            vorticity(np.zeros((2, 4, 4, 4)))
+
+    def test_rigid_rotation_constant_vorticity(self):
+        """u = Ω × r about the z axis has ω = (0, 0, 2Ω) everywhere."""
+        n = 12
+        z, y, x = np.meshgrid(*(np.arange(n, dtype=np.float64),) * 3, indexing="ij")
+        omega = 0.5
+        ux = -omega * (y - n / 2)
+        uy = omega * (x - n / 2)
+        uz = np.zeros_like(ux)
+        vel = np.stack([uz, uy, ux], axis=0)
+        w = vorticity(vel)
+        interior = (slice(2, -2),) * 3
+        assert np.allclose(w[0][interior], 2 * omega, atol=1e-4)  # ωz
+        assert np.allclose(w[1][interior], 0.0, atol=1e-4)
+        assert np.allclose(w[2][interior], 0.0, atol=1e-4)
+
+    def test_shear_layer_vorticity_magnitude(self):
+        """ux = tanh(y) shear has |ω| = |dux/dy| concentrated at the layer."""
+        n = 32
+        y = np.arange(n, dtype=np.float64)
+        profile = np.tanh((y - n / 2) / 2.0)
+        ux = np.broadcast_to(profile[None, :, None], (n, n, n)).copy()
+        vel = np.stack([np.zeros_like(ux), np.zeros_like(ux), ux], axis=0)
+        wm = vorticity_magnitude(vel)
+        mid = wm[n // 2, n // 2, n // 2]
+        edge = wm[n // 2, 2, n // 2]
+        assert mid > 5 * edge
+
+    def test_irrotational_flow_near_zero(self):
+        """Uniform translation has zero curl."""
+        vel = np.ones((3, 8, 8, 8))
+        assert np.allclose(vorticity_magnitude(vel), 0.0, atol=1e-6)

@@ -1,0 +1,153 @@
+"""Tests for repro.volume.histogram, incl. the Fig. 2 cumhist property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.volume import Volume
+from repro.volume.histogram import (
+    CumulativeHistogram,
+    cumulative_histogram,
+    histogram,
+    histogram_peaks,
+    voxel_cumulative_values,
+)
+
+
+class TestHistogram:
+    def test_counts_sum_to_voxels(self):
+        data = np.random.default_rng(0).random((6, 6, 6)).astype(np.float32)
+        counts = histogram(data, bins=32)
+        assert counts.sum() == data.size
+
+    def test_accepts_volume_wrapper(self):
+        vol = Volume(np.zeros((3, 3, 3)))
+        assert histogram(vol, bins=8).sum() == 27
+
+    def test_domain_restricts_bins(self):
+        data = np.array([[[0.0, 10.0]]])
+        counts = histogram(data, bins=10, domain=(0.0, 5.0))
+        # np.histogram clips nothing: the 10.0 voxel falls outside and is dropped
+        assert counts.sum() == 1
+
+    def test_constant_data_single_bin(self):
+        counts = histogram(np.full((4, 4, 4), 2.0), bins=16)
+        assert counts.max() == 64
+        assert (counts > 0).sum() == 1
+
+
+class TestCumulativeHistogram:
+    def test_monotone_and_normalized(self):
+        data = np.random.default_rng(1).random((8, 8, 8))
+        cum = cumulative_histogram(data, bins=64)
+        assert np.all(np.diff(cum) >= 0)
+        assert cum[-1] == pytest.approx(1.0)
+
+    @given(seed=st.integers(0, 2**16), bins=st.sampled_from([16, 64, 256]))
+    @settings(max_examples=25, deadline=None)
+    def test_cdf_invariants_property(self, seed, bins):
+        data = np.random.default_rng(seed).normal(size=(5, 5, 5))
+        cum = cumulative_histogram(data, bins=bins)
+        assert len(cum) == bins
+        assert np.all(cum >= 0) and np.all(cum <= 1 + 1e-12)
+        assert np.all(np.diff(cum) >= 0)
+
+    def test_at_values_matches_empirical_cdf(self):
+        rng = np.random.default_rng(2)
+        data = rng.random((10, 10, 10))
+        ch = CumulativeHistogram.of(data, bins=256)
+        q = 0.3
+        expected = (data <= q).mean()
+        assert ch.at_values([q])[0] == pytest.approx(expected, abs=0.02)
+
+    def test_at_voxels_shape_and_range(self):
+        data = np.random.default_rng(3).random((4, 5, 6))
+        ch = CumulativeHistogram.of(data)
+        out = ch.at_voxels(data)
+        assert out.shape == data.shape
+        assert out.min() >= 0 and out.max() <= 1
+
+    def test_max_voxel_maps_to_one(self):
+        data = np.random.default_rng(4).random((6, 6, 6))
+        ch = CumulativeHistogram.of(data)
+        assert ch.at_values([data.max()])[0] == pytest.approx(1.0)
+
+    def test_values_below_domain_clip_to_first_bin(self):
+        data = np.random.default_rng(5).random((4, 4, 4)) + 1.0
+        ch = CumulativeHistogram.of(data)
+        assert ch.at_values([-100.0])[0] == ch.cdf[0]
+
+    def test_shared_domain_alignment(self):
+        a = np.random.default_rng(6).random((5, 5, 5))
+        ch = CumulativeHistogram.of(a, domain=(0.0, 2.0))
+        assert ch.lo == 0.0 and ch.hi == 2.0
+
+    def test_affine_shift_invariance(self):
+        """The Sec. 4.2.1 property: a global affine change of the data moves
+        values but preserves every structure's cumulative-histogram
+        coordinate."""
+        rng = np.random.default_rng(7)
+        data = rng.random((8, 8, 8))
+        shifted = 0.7 * data + 3.0
+        feature_value = float(np.quantile(data, 0.9))
+        ch_a = CumulativeHistogram.of(data)
+        ch_b = CumulativeHistogram.of(shifted)
+        ca = ch_a.at_values([feature_value])[0]
+        cb = ch_b.at_values([0.7 * feature_value + 3.0])[0]
+        assert ca == pytest.approx(cb, abs=0.02)
+
+    def test_oneshot_helper(self):
+        data = np.random.default_rng(8).random((4, 4, 4))
+        out = voxel_cumulative_values(data)
+        assert out.shape == data.shape
+
+
+class TestHistogramPeaks:
+    def test_finds_isolated_peaks(self):
+        counts = np.zeros(32, dtype=np.int64)
+        counts[5] = 100
+        counts[20] = 50
+        peaks = histogram_peaks(counts)
+        assert peaks[0][0] == 5
+        assert peaks[1][0] == 20
+
+    def test_min_separation_suppresses_neighbours(self):
+        counts = np.zeros(32, dtype=np.int64)
+        counts[10] = 100
+        counts[12] = 90
+        peaks = histogram_peaks(counts, min_separation=5)
+        assert [p[0] for p in peaks] == [10]
+
+    def test_top_limits_count(self):
+        counts = np.zeros(64, dtype=np.int64)
+        counts[[5, 20, 40]] = [10, 30, 20]
+        peaks = histogram_peaks(counts, top=2)
+        assert len(peaks) == 2
+        assert peaks[0][0] == 20
+
+    def test_short_input_empty(self):
+        assert histogram_peaks(np.array([1, 2])) == []
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            histogram_peaks(np.zeros((3, 3)))
+
+
+class TestFig2Property:
+    def test_argon_ring_cumhist_stable_while_value_drifts(self, argon_small):
+        """The Fig. 2 claim quantified on the argon analogue."""
+        from repro.data.argon import ring_value_at
+
+        domain = argon_small.value_range
+        values, cums = [], []
+        for t in (195, 225, 255):
+            vol = argon_small.at_time(t)
+            ch = CumulativeHistogram.of(vol, domain=domain)
+            rv = ring_value_at(argon_small, t)
+            values.append(rv)
+            cums.append(ch.at_values([rv])[0])
+        value_drift = max(values) - min(values)
+        cum_drift = max(cums) - min(cums)
+        assert value_drift > 0.2  # the raw value moves a lot...
+        assert cum_drift < 0.05  # ...while the cumhist coordinate barely moves

@@ -1,0 +1,119 @@
+"""Tests for repro.render.image_metrics: PSNR/SSIM frame comparison."""
+
+import numpy as np
+import pytest
+
+from repro.render.image import Image
+from repro.render.image_metrics import image_difference, mse, psnr, ssim
+
+
+def checker(h=32, w=32, phase=0):
+    y, x = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+    val = (((y + x + phase) // 4) % 2).astype(np.float64)
+    return np.stack([val] * 3, axis=-1)
+
+
+class TestMSEPSNR:
+    def test_identical_images(self):
+        img = checker()
+        assert mse(img, img) == 0.0
+        assert psnr(img, img) == float("inf")
+
+    def test_known_mse(self):
+        a = np.zeros((4, 4, 3))
+        b = np.full((4, 4, 3), 0.5)
+        assert mse(a, b) == pytest.approx(0.25)
+        assert psnr(a, b) == pytest.approx(10 * np.log10(1 / 0.25))
+
+    def test_symmetry(self):
+        a, b = checker(), checker(phase=2)
+        assert mse(a, b) == pytest.approx(mse(b, a))
+
+    def test_accepts_image_objects(self):
+        rgba = np.zeros((8, 8, 4), dtype=np.float32)
+        rgba[..., 3] = 1.0
+        img = Image.from_array(rgba)
+        assert mse(img, img) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(checker(16, 16), checker(32, 32))
+
+    def test_grayscale_promoted(self):
+        gray = np.zeros((8, 8))
+        assert mse(gray, np.zeros((8, 8, 3))) == 0.0
+
+
+class TestSSIM:
+    def test_identical_is_one(self):
+        img = checker()
+        assert ssim(img, img) == pytest.approx(1.0, abs=1e-6)
+
+    def test_structure_change_lowers_ssim_more_than_brightness(self):
+        base = checker()
+        brighter = np.clip(base + 0.08, 0, 1)
+        scrambled = checker(phase=4)  # same histogram, shifted structure
+        assert ssim(base, brighter) > ssim(base, scrambled)
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((16, 16, 3))
+        b = rng.random((16, 16, 3))
+        s = ssim(a, b)
+        assert -1.0 <= s <= 1.0
+
+    def test_constant_images(self):
+        a = np.full((8, 8, 3), 0.3)
+        assert ssim(a, a) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestImageDifference:
+    def test_zero_for_identical(self):
+        img = checker()
+        diff = image_difference(img, img)
+        assert diff.composited().max() == 0.0
+
+    def test_gain_amplifies(self):
+        a = np.zeros((8, 8, 3))
+        b = np.full((8, 8, 3), 0.1)
+        d1 = image_difference(a, b, gain=1.0).composited().max()
+        d5 = image_difference(a, b, gain=5.0).composited().max()
+        assert d5 > d1
+
+
+class TestImageSpaceFig3:
+    def test_iatf_frame_closer_to_truth_than_interpolation(self, argon_small):
+        """Fig. 3 validated in image space: render the mid step with the
+        IATF TF, the interpolated TF, and a ground-truth 'ideal' TF that
+        covers exactly the ring band; the IATF frame must be structurally
+        closer to the ideal frame."""
+        from repro.core import AdaptiveTransferFunction
+        from repro.data.argon import ring_value_band
+        from repro.render import Camera, render_volume
+        from repro.transfer import TransferFunction1D, interpolate_transfer_functions
+
+        def keyframe_tf(t):
+            lo, hi = ring_value_band(argon_small, t)
+            return TransferFunction1D(argon_small.value_range).add_tent(
+                (lo + hi) / 2, (hi - lo) * 2.5, 1.0)
+
+        iatf = AdaptiveTransferFunction.for_sequence(argon_small, seed=3)
+        for t in (195, 255):
+            iatf.add_key_frame(argon_small.at_time(t), keyframe_tf(t))
+        iatf.train(epochs=200)
+
+        # Render with the standard display floor (thresholded TFs): the
+        # learned TF carries faint cumhist-twin fog that the floor — like
+        # any production viewer's opacity editor — suppresses equally for
+        # all methods.
+        mid = argon_small.at_time(225)
+        cam = Camera(width=48, height=48)
+        floor = 0.1
+        ideal = render_volume(mid, keyframe_tf(225).thresholded(floor), cam, shading=False)
+        frame_iatf = render_volume(mid, iatf.generate(mid).thresholded(floor),
+                                   cam, shading=False)
+        interp = interpolate_transfer_functions(keyframe_tf(195), keyframe_tf(255), 0.5)
+        frame_interp = render_volume(mid, interp.thresholded(floor), cam, shading=False)
+
+        assert ssim(frame_iatf, ideal) > ssim(frame_interp, ideal) + 0.1
+        assert psnr(frame_iatf, ideal) > psnr(frame_interp, ideal) + 3.0

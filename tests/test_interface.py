@@ -1,0 +1,179 @@
+"""Tests for repro.interface: painting, oracle, interactive session."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataSpaceClassifier, ShellFeatureExtractor
+from repro.interface import InteractiveSession, Oracle, PaintStroke
+from repro.interface.painting import strokes_to_masks
+
+
+class TestPaintStroke:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PaintStroke(axis=3, index=0, center=(0, 0), radius=1, label=1.0)
+        with pytest.raises(ValueError):
+            PaintStroke(axis=0, index=0, center=(0, 0), radius=-1, label=1.0)
+        with pytest.raises(ValueError):
+            PaintStroke(axis=0, index=0, center=(0, 0), radius=1, label=2.0)
+
+    def test_single_voxel_brush(self):
+        s = PaintStroke(axis=0, index=2, center=(3, 4), radius=0, label=1.0)
+        coords = s.voxels((6, 6, 6))
+        assert coords.tolist() == [[2, 3, 4]]
+
+    def test_disk_on_each_axis(self):
+        for axis in (0, 1, 2):
+            s = PaintStroke(axis=axis, index=3, center=(4, 4), radius=2, label=1.0)
+            coords = s.voxels((8, 8, 8))
+            assert (coords[:, axis] == 3).all()
+            assert len(coords) == 13  # filled disk radius 2
+
+    def test_clipped_at_boundary(self):
+        s = PaintStroke(axis=0, index=0, center=(0, 0), radius=2, label=0.0)
+        coords = s.voxels((4, 4, 4))
+        assert len(coords) > 0
+        assert coords.min() >= 0
+
+    def test_out_of_range_slice(self):
+        s = PaintStroke(axis=0, index=9, center=(0, 0), radius=1, label=1.0)
+        with pytest.raises(IndexError):
+            s.voxels((4, 4, 4))
+
+    def test_mask_matches_voxels(self):
+        s = PaintStroke(axis=1, index=2, center=(3, 3), radius=1, label=1.0)
+        mask = s.mask((6, 6, 6))
+        assert mask.sum() == len(s.voxels((6, 6, 6)))
+
+    def test_strokes_to_masks_later_wins(self):
+        a = PaintStroke(axis=0, index=1, center=(2, 2), radius=1, label=1.0)
+        b = PaintStroke(axis=0, index=1, center=(2, 2), radius=0, label=0.0)
+        pos, neg = strokes_to_masks([a, b], (4, 4, 4))
+        assert not pos[1, 2, 2]
+        assert neg[1, 2, 2]
+        assert pos.sum() == 4  # the rest of the disk stays positive
+
+
+class TestOracle:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Oracle("large", mislabel_rate=1.5)
+        with pytest.raises(ValueError):
+            Oracle("large", brush_radius=-1)
+
+    def test_paint_round_labels(self, cosmology_small):
+        vol = cosmology_small.at_time(310)
+        oracle = Oracle("large", seed=1)
+        strokes = oracle.paint_round(vol, n_positive=3, n_negative=3)
+        assert len(strokes) == 6
+        pos = [s for s in strokes if s.label == 1.0]
+        assert len(pos) == 3
+
+    def test_positive_strokes_land_on_feature(self, cosmology_small):
+        vol = cosmology_small.at_time(310)
+        oracle = Oracle("large", seed=2)
+        for s in oracle.paint_round(vol, n_positive=5, n_negative=0):
+            center = s.voxels(vol.shape)[len(s.voxels(vol.shape)) // 2]
+            # the brush *center* voxel is on the feature by construction
+            coords = s.voxels(vol.shape)
+            on_feature = vol.mask("large")[tuple(coords.T)]
+            assert on_feature.any()
+
+    def test_negative_strokes_avoid_feature_center(self, cosmology_small):
+        vol = cosmology_small.at_time(310)
+        oracle = Oracle("large", seed=3, brush_radius=0)
+        for s in oracle.paint_round(vol, n_positive=0, n_negative=5):
+            (coord,) = s.voxels(vol.shape)
+            assert not vol.mask("large")[tuple(coord)]
+            assert not vol.mask("small")[tuple(coord)]
+
+    def test_explicit_negative_mask(self, cosmology_small):
+        vol = cosmology_small.at_time(310)
+        oracle = Oracle("large", negative_mask_name="small", seed=4, brush_radius=0)
+        for s in oracle.paint_round(vol, n_positive=0, n_negative=4):
+            (coord,) = s.voxels(vol.shape)
+            assert vol.mask("small")[tuple(coord)]
+
+    def test_mislabeling(self, cosmology_small):
+        vol = cosmology_small.at_time(310)
+        oracle = Oracle("large", seed=5, mislabel_rate=1.0, brush_radius=0)
+        strokes = oracle.paint_round(vol, n_positive=4, n_negative=0)
+        assert all(s.label == 0.0 for s in strokes)  # everything flipped
+
+    def test_deterministic(self, cosmology_small):
+        vol = cosmology_small.at_time(310)
+        a = Oracle("large", seed=6).paint_round(vol)
+        b = Oracle("large", seed=6).paint_round(vol)
+        assert a == b
+
+    def test_corrective_round_targets_errors(self, cosmology_small):
+        vol = cosmology_small.at_time(310)
+        oracle = Oracle("large", seed=7, brush_radius=0)
+        # pretend the classifier marks everything positive:
+        certainty = np.ones(vol.shape, dtype=np.float32)
+        strokes = oracle.corrective_round(vol, certainty, n_strokes=4)
+        assert strokes
+        assert all(s.label == 0.0 for s in strokes)  # only false positives exist
+        # and everything negative:
+        strokes = oracle.corrective_round(vol, np.zeros(vol.shape), n_strokes=4)
+        assert all(s.label == 1.0 for s in strokes)
+
+
+class TestInteractiveSession:
+    def make_session(self, vol, seed=0):
+        clf = DataSpaceClassifier(ShellFeatureExtractor(radius=3), seed=seed)
+        return InteractiveSession(vol, classifier=clf, idle_epochs=60)
+
+    def test_idle_epochs_validated(self, cosmology_small):
+        with pytest.raises(ValueError):
+            InteractiveSession(cosmology_small.at_time(310), idle_epochs=0)
+
+    def test_paint_adds_samples(self, cosmology_small):
+        vol = cosmology_small.at_time(310)
+        sess = self.make_session(vol)
+        s = PaintStroke(axis=0, index=5, center=(10, 10), radius=2, label=1.0)
+        added = sess.paint(s)
+        assert added == 13
+        assert len(sess.classifier.training) == 13
+        assert sess.strokes == [s]
+
+    def test_full_loop_improves_accuracy(self, cosmology_small):
+        """The Fig. 11 behaviour: accuracy climbs with interaction rounds."""
+        vol = cosmology_small.at_time(310)
+        sess = self.make_session(vol, seed=2)
+        oracle = Oracle("large", seed=11, brush_radius=1)
+        history = sess.run_with_oracle(
+            oracle, rounds=4, strokes_per_round=10, truth_mask_name="large"
+        )
+        assert len(history) == 4
+        accs = [r.accuracy for r in history]
+        assert accs[-1] > 0.9
+        assert accs[-1] >= accs[0] - 0.02  # no catastrophic regression
+
+    def test_preview_slice_shape(self, cosmology_small):
+        vol = cosmology_small.at_time(310)
+        sess = self.make_session(vol)
+        sess.paint(PaintStroke(axis=0, index=5, center=(10, 10), radius=2, label=1.0))
+        sess.paint(PaintStroke(axis=0, index=5, center=(20, 20), radius=2, label=0.0))
+        sess.idle_train()
+        plane = sess.preview_slice(0, 5)
+        assert plane.shape == (32, 32)
+
+    def test_overlay_image(self, cosmology_small):
+        vol = cosmology_small.at_time(310)
+        sess = self.make_session(vol)
+        sess.paint(PaintStroke(axis=0, index=5, center=(10, 10), radius=2, label=1.0))
+        sess.paint(PaintStroke(axis=1, index=5, center=(20, 20), radius=2, label=0.0))
+        sess.idle_train()
+        img = sess.overlay_image(0, 5)
+        assert img.shape == (32, 32)
+
+    def test_add_volume_switches_canvas(self, cosmology_small):
+        sess = self.make_session(cosmology_small.at_time(130))
+        sess.add_volume(cosmology_small.at_time(310))
+        assert sess.volume.time == 310
+
+    def test_rounds_validated(self, cosmology_small):
+        sess = self.make_session(cosmology_small.at_time(310))
+        with pytest.raises(ValueError):
+            sess.run_with_oracle(Oracle("large"), rounds=0)

@@ -1,0 +1,135 @@
+"""Tests for repro.core.introspect: opening the black box."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataSpaceClassifier, NeuralNetwork, ShellFeatureExtractor
+from repro.core.introspect import (
+    classifier_importance,
+    permutation_importance,
+    rank_features,
+    suggest_feature_subset,
+    weight_saliency,
+)
+
+
+def problem_with_dead_feature(n=300, seed=0):
+    """y depends only on column 0; column 1 is pure noise."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 2))
+    y = (X[:, 0] > 0.5).astype(float)
+    return X, y
+
+
+class TestPermutationImportance:
+    def test_identifies_informative_feature(self):
+        X, y = problem_with_dead_feature()
+        net = NeuralNetwork(2, n_hidden=8, seed=1)
+        net.train(X, y, epochs=300)
+        imp = permutation_importance(net.predict, X, y, seed=0)
+        assert imp[0] > 10 * max(imp[1], 1e-6)
+
+    def test_dead_feature_near_zero(self):
+        X, y = problem_with_dead_feature()
+        net = NeuralNetwork(2, n_hidden=8, seed=1)
+        net.train(X, y, epochs=300)
+        imp = permutation_importance(net.predict, X, y, seed=0)
+        assert abs(imp[1]) < 0.02
+
+    def test_deterministic_given_seed(self):
+        X, y = problem_with_dead_feature(100)
+        net = NeuralNetwork(2, seed=1)
+        net.train(X, y, epochs=50)
+        a = permutation_importance(net.predict, X, y, seed=5)
+        b = permutation_importance(net.predict, X, y, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        net = NeuralNetwork(2, seed=0)
+        with pytest.raises(ValueError):
+            permutation_importance(net.predict, np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            permutation_importance(net.predict, np.zeros((3, 2)), np.zeros(3), n_repeats=0)
+
+    def test_works_with_any_engine(self):
+        from repro.core.svm import SupportVectorMachine
+
+        X, y = problem_with_dead_feature(150)
+        svm = SupportVectorMachine(kernel="linear", seed=0).fit(X, y)
+        imp = permutation_importance(svm.predict, X, y, seed=0)
+        assert imp[0] > imp[1]
+
+
+class TestWeightSaliency:
+    def test_normalized(self):
+        net = NeuralNetwork(4, seed=0)
+        sal = weight_saliency(net)
+        assert sal.shape == (4,)
+        assert sal.sum() == pytest.approx(1.0)
+
+    def test_trained_net_weights_follow_information(self):
+        X, y = problem_with_dead_feature()
+        net = NeuralNetwork(2, n_hidden=8, seed=1)
+        net.train(X, y, epochs=400)
+        sal = weight_saliency(net)
+        assert sal[0] > sal[1]
+
+
+class TestRankAndSuggest:
+    def test_rank_orders_descending(self):
+        pairs = rank_features([0.1, 0.5, 0.3], names=["a", "b", "c"])
+        assert [p[0] for p in pairs] == ["b", "c", "a"]
+
+    def test_rank_default_names(self):
+        pairs = rank_features([0.2, 0.1])
+        assert pairs[0][0] == "feature_0"
+
+    def test_rank_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rank_features([0.1], names=["a", "b"])
+
+    def test_suggest_keeps_top_fraction_in_order(self):
+        names = ["a", "b", "c", "d"]
+        kept = suggest_feature_subset([0.4, 0.1, 0.3, 0.2], names, keep_fraction=0.5)
+        assert kept == ["a", "c"]  # original order preserved
+
+    def test_suggest_min_keep(self):
+        kept = suggest_feature_subset([0.5, 0.1], ["a", "b"], keep_fraction=0.01, min_keep=1)
+        assert kept == ["a"]
+
+    def test_suggest_validation(self):
+        with pytest.raises(ValueError):
+            suggest_feature_subset([0.1], keep_fraction=0.0)
+
+
+class TestClassifierIntegration:
+    def test_end_to_end_property_removal(self, cosmology_small):
+        """The full Sec. 6 loop: train → inspect → drop unimportant
+        properties → retrain the smaller classifier → quality holds."""
+        vol = cosmology_small.at_time(310)
+        rng = np.random.default_rng(0)
+        large, small = vol.mask("large"), vol.mask("small")
+
+        def sample(mask, n):
+            coords = np.argwhere(mask)
+            sel = coords[rng.choice(len(coords), size=min(n, len(coords)), replace=False)]
+            m = np.zeros(mask.shape, dtype=bool)
+            m[tuple(sel.T)] = True
+            return m
+
+        clf = DataSpaceClassifier(ShellFeatureExtractor(radius=2), seed=3)
+        clf.add_examples(vol, positive_mask=sample(large, 120),
+                         negative_mask=sample(small, 70) | sample(~(large | small), 70))
+        clf.train(epochs=250)
+
+        names, importance = classifier_importance(clf, n_repeats=3, seed=0)
+        assert len(names) == len(importance) == clf.extractor.n_features
+        keep = suggest_feature_subset(importance, names, keep_fraction=0.5)
+        assert 1 <= len(keep) < len(names)
+
+        smaller = clf.with_features(keep)
+        smaller.train(epochs=250)
+        from repro.metrics import feature_retention
+
+        cert = smaller.classify(vol)
+        assert feature_retention(cert, large, 0.5) > 0.8

@@ -1,0 +1,110 @@
+"""Tests for repro.segmentation.lineage: the temporal feature graph."""
+
+import numpy as np
+import pytest
+
+from repro.segmentation.lineage import FeatureLineage, FeatureNode
+
+
+def splitting_masks():
+    """One blob that splits into two at step 2; a bystander blob dies."""
+    masks = np.zeros((4, 10, 10, 10), dtype=bool)
+    masks[0, 2:5, 2:5, 2:5] = True  # main feature
+    masks[0, 7:9, 7:9, 7:9] = True  # bystander
+    masks[1, 2:5, 2:5, 3:6] = True
+    masks[1, 7:9, 7:9, 7:9] = True
+    masks[2, 2:5, 2:5, 3:5] = True  # split: two parts
+    masks[2, 2:5, 2:5, 6:8] = False
+    masks[2, 2:5, 7:9, 3:5] = False
+    # create two disjoint children overlapping the parent
+    masks[2] = False
+    masks[2, 2:3, 2:5, 3:6] = True
+    masks[2, 4:5, 2:5, 3:6] = True
+    masks[3, 2:3, 2:5, 4:7] = True
+    masks[3, 4:5, 2:5, 4:7] = True
+    return masks
+
+
+@pytest.fixture()
+def lineage():
+    return FeatureLineage(splitting_masks(), times=[10, 11, 12, 13])
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeatureLineage([])
+        with pytest.raises(ValueError):
+            FeatureLineage([np.zeros((2, 2, 2), bool)], times=[1, 2])
+
+    def test_node_count(self, lineage):
+        # step0: 2 features, step1: 2, step2: 2, step3: 2
+        assert lineage.n_features == 8
+
+    def test_node_attributes(self, lineage):
+        node = lineage.node_at(10, (3, 3, 3))
+        data = lineage.graph.nodes[node]
+        assert data["voxels"] == 27
+        assert data["step"] == 0
+
+
+class TestQueries:
+    def test_node_at_background_raises(self, lineage):
+        with pytest.raises(ValueError):
+            lineage.node_at(10, (0, 0, 0))
+
+    def test_descendants_of_splitting_feature(self, lineage):
+        node = lineage.node_at(10, (3, 3, 3))
+        desc = lineage.descendants(node)
+        # 1 continuation + 2 split children + 2 grandchildren
+        assert len(desc) == 5
+        assert all(d.time > 10 for d in desc)
+
+    def test_bystander_lineage_dies(self, lineage):
+        node = lineage.node_at(10, (8, 8, 8))
+        desc = lineage.descendants(node)
+        assert {d.time for d in desc} == {11}  # exists at 11 then vanishes
+        events = lineage.events_along(node)
+        assert ("death", 11, 12) in events
+
+    def test_split_event_detected(self, lineage):
+        node = lineage.node_at(10, (3, 3, 3))
+        events = lineage.events_along(node)
+        assert ("split", 11, 12) in events
+
+    def test_ancestors(self, lineage):
+        child = lineage.node_at(13, (2, 3, 5))
+        anc = lineage.ancestors(child)
+        assert lineage.node_at(10, (3, 3, 3)) in anc
+
+    def test_lineage_mask_stack(self, lineage):
+        node = lineage.node_at(10, (3, 3, 3))
+        stack = lineage.lineage_mask_stack(node)
+        assert stack.shape == (4, 10, 10, 10)
+        assert stack[0].sum() == 27
+        assert stack[3].any()
+        # bystander excluded
+        assert not stack[0][8, 8, 8]
+
+    def test_volume_history(self, lineage):
+        node = lineage.node_at(10, (3, 3, 3))
+        history = lineage.volume_history(node)
+        assert history[0] == (10, 27)
+        assert len(history) == 4
+
+
+class TestOnVortexData:
+    def test_vortex_split_via_lineage(self, vortex_small):
+        masks = [v.mask("vortex") for v in vortex_small]
+        lineage = FeatureLineage(masks, times=vortex_small.times)
+        coords = np.argwhere(masks[0])
+        root = lineage.node_at(vortex_small.times[0], coords[len(coords) // 2])
+        events = lineage.events_along(root)
+        kinds = {e[0] for e in events}
+        assert "split" in kinds
+        # the lineage stack equals what 4D region growing tracks
+        from repro.segmentation import grow_4d
+
+        stack = lineage.lineage_mask_stack(root)
+        grown = grow_4d(np.stack(masks), [(0, *coords[len(coords) // 2])])
+        assert np.array_equal(stack, grown)

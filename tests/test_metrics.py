@@ -1,0 +1,188 @@
+"""Tests for repro.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    background_leakage,
+    classification_accuracy,
+    detail_preservation,
+    dice,
+    feature_retention,
+    jaccard,
+    noise_suppression,
+    precision_recall,
+    tracking_continuity,
+)
+
+
+def mask_pair():
+    a = np.zeros((4, 4, 4), dtype=bool)
+    b = np.zeros((4, 4, 4), dtype=bool)
+    a[:2] = True
+    b[1:3] = True
+    return a, b
+
+
+class TestJaccardDice:
+    def test_known_values(self):
+        a, b = mask_pair()
+        assert jaccard(a, b) == pytest.approx(16 / 48)
+        assert dice(a, b) == pytest.approx(2 * 16 / 64)
+
+    def test_identical_masks(self):
+        a, _ = mask_pair()
+        assert jaccard(a, a) == 1.0
+        assert dice(a, a) == 1.0
+
+    def test_disjoint(self):
+        a = np.zeros((2, 2, 2), bool)
+        b = np.zeros((2, 2, 2), bool)
+        a[0, 0, 0] = True
+        b[1, 1, 1] = True
+        assert jaccard(a, b) == 0.0
+        assert dice(a, b) == 0.0
+
+    def test_both_empty(self):
+        e = np.zeros((2, 2, 2), bool)
+        assert jaccard(e, e) == 1.0
+        assert dice(e, e) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            jaccard(np.zeros((2, 2, 2), bool), np.zeros((3, 3, 3), bool))
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_dice_geq_jaccard_property(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.random((5, 5, 5)) > 0.5
+        b = rng.random((5, 5, 5)) > 0.5
+        j, d = jaccard(a, b), dice(a, b)
+        assert 0.0 <= j <= d <= 1.0
+        # exact relation d = 2j/(1+j)
+        assert d == pytest.approx(2 * j / (1 + j), abs=1e-12)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        a, _ = mask_pair()
+        assert precision_recall(a, a) == (1.0, 1.0)
+
+    def test_half_overlap(self):
+        a, b = mask_pair()
+        p, r = precision_recall(a, b)
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(0.5)
+
+    def test_empty_conventions(self):
+        e = np.zeros((2, 2, 2), bool)
+        f = np.ones((2, 2, 2), bool)
+        assert precision_recall(e, f) == (1.0, 0.0)
+        assert precision_recall(f, e) == (0.0, 1.0)
+
+
+class TestRetentionLeakage:
+    def test_full_retention(self):
+        truth = np.zeros((3, 3, 3), bool)
+        truth[1] = True
+        opacity = truth.astype(float)
+        assert feature_retention(opacity, truth) == 1.0
+        assert background_leakage(opacity, truth) == 0.0
+
+    def test_partial_retention(self):
+        truth = np.zeros((2, 2, 2), bool)
+        truth[0] = True  # 4 voxels
+        opacity = np.zeros((2, 2, 2))
+        opacity[0, 0] = 1.0  # 2 of them visible
+        assert feature_retention(opacity, truth) == pytest.approx(0.5)
+
+    def test_threshold_respected(self):
+        truth = np.ones((2, 2, 2), bool)
+        opacity = np.full((2, 2, 2), 0.04)
+        assert feature_retention(opacity, truth, visible_threshold=0.05) == 0.0
+        assert feature_retention(opacity, truth, visible_threshold=0.03) == 1.0
+
+    def test_empty_truth(self):
+        truth = np.zeros((2, 2, 2), bool)
+        assert feature_retention(np.ones((2, 2, 2)), truth) == 1.0
+
+    def test_noise_suppression_complement(self):
+        small = np.zeros((2, 2, 2), bool)
+        small[0] = True
+        opacity = np.zeros((2, 2, 2))
+        assert noise_suppression(opacity, small) == 1.0
+        opacity[0] = 1.0
+        assert noise_suppression(opacity, small) == 0.0
+
+
+class TestDetailPreservation:
+    def test_identity_is_one(self):
+        rng = np.random.default_rng(0)
+        original = rng.random((6, 6, 6))
+        large = np.ones((6, 6, 6), bool)
+        assert detail_preservation(original, original, large) == pytest.approx(1.0)
+
+    def test_blur_lowers_score(self):
+        from repro.volume import iterated_smooth
+
+        rng = np.random.default_rng(1)
+        original = rng.random((12, 12, 12)).astype(np.float32)
+        large = np.zeros((12, 12, 12), bool)
+        large[3:9, 3:9, 3:9] = True
+        blurred = iterated_smooth(original, radius=1, iterations=4)
+        assert detail_preservation(blurred, original, large) < 0.9
+
+    def test_constant_result_zero(self):
+        rng = np.random.default_rng(2)
+        original = rng.random((4, 4, 4))
+        large = np.ones((4, 4, 4), bool)
+        assert detail_preservation(np.zeros_like(original), original, large) == 0.0
+
+    def test_empty_large_mask(self):
+        original = np.zeros((2, 2, 2))
+        assert detail_preservation(original, original, np.zeros((2, 2, 2), bool)) == 1.0
+
+
+class TestTrackingContinuity:
+    def test_full_continuity(self):
+        masks = [np.ones((2, 2, 2), bool)] * 4
+        assert tracking_continuity(masks) == 1.0
+
+    def test_lost_midway(self):
+        masks = [np.ones((2, 2, 2), bool)] * 2 + [np.zeros((2, 2, 2), bool)] * 2
+        assert tracking_continuity(masks) == 0.5
+
+    def test_truth_guard_against_leakage(self):
+        tracked = [np.ones((2, 2, 2), bool)] * 2
+        truth = [np.ones((2, 2, 2), bool), np.zeros((2, 2, 2), bool)]
+        # step 2 "tracks" only background -> doesn't count
+        assert tracking_continuity(tracked, truth) == 0.5
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            tracking_continuity([])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            tracking_continuity([np.ones((2, 2, 2), bool)], [])
+
+
+class TestClassificationAccuracy:
+    def test_perfect(self):
+        truth = np.zeros((3, 3, 3), bool)
+        truth[0] = True
+        assert classification_accuracy(truth.astype(float), truth) == 1.0
+
+    def test_inverted(self):
+        truth = np.zeros((2, 2, 2), bool)
+        truth[0] = True
+        assert classification_accuracy((~truth).astype(float), truth) == 0.0
+
+    def test_threshold(self):
+        truth = np.ones((2, 2, 2), bool)
+        cert = np.full((2, 2, 2), 0.6)
+        assert classification_accuracy(cert, truth, threshold=0.5) == 1.0
+        assert classification_accuracy(cert, truth, threshold=0.7) == 0.0

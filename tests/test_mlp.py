@@ -1,0 +1,263 @@
+"""Tests for repro.core.mlp: the three-layer BPN perceptron."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NeuralNetwork, TrainingSet
+
+
+def circle_problem(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 2))
+    y = ((X[:, 0] - 0.5) ** 2 + (X[:, 1] - 0.5) ** 2 < 0.09).astype(float)
+    return X, y
+
+
+class TestTrainingSet:
+    def test_accumulates(self):
+        ts = TrainingSet(2)
+        ts.add([[0.0, 1.0]], [1.0])
+        ts.add([[1.0, 0.0], [0.5, 0.5]], [0.0, 1.0])
+        X, y = ts.arrays()
+        assert X.shape == (3, 2)
+        assert len(ts) == 3
+
+    def test_empty_arrays_raises(self):
+        with pytest.raises(ValueError):
+            TrainingSet(2).arrays()
+
+    def test_validates_feature_count(self):
+        ts = TrainingSet(3)
+        with pytest.raises(ValueError):
+            ts.add([[1.0, 2.0]], [0.5])
+
+    def test_validates_target_range(self):
+        ts = TrainingSet(1)
+        with pytest.raises(ValueError):
+            ts.add([[1.0]], [1.5])
+
+    def test_subset_features(self):
+        ts = TrainingSet(3)
+        ts.add([[1.0, 2.0, 3.0]], [1.0])
+        sub = ts.subset_features([0, 2])
+        X, y = sub.arrays()
+        assert X.tolist() == [[1.0, 3.0]]
+
+    def test_subset_of_empty(self):
+        sub = TrainingSet(3).subset_features([1])
+        assert len(sub) == 0
+
+    def test_n_inputs_validated(self):
+        with pytest.raises(ValueError):
+            TrainingSet(0)
+
+
+class TestConstruction:
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            NeuralNetwork(0)
+        with pytest.raises(ValueError):
+            NeuralNetwork(2, n_hidden=0)
+        with pytest.raises(ValueError):
+            NeuralNetwork(2, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            NeuralNetwork(2, momentum=1.0)
+
+    def test_deterministic_init(self):
+        a = NeuralNetwork(3, seed=5)
+        b = NeuralNetwork(3, seed=5)
+        assert np.array_equal(a.w1, b.w1)
+        assert np.array_equal(a.w2, b.w2)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(NeuralNetwork(3, seed=1).w1, NeuralNetwork(3, seed=2).w1)
+
+
+class TestTraining:
+    def test_learns_circle(self):
+        X, y = circle_problem()
+        net = NeuralNetwork(2, n_hidden=12, seed=1)
+        net.train(X, y, epochs=400)
+        acc = ((net.predict(X) > 0.5) == (y > 0.5)).mean()
+        assert acc > 0.95
+
+    def test_loss_decreases(self):
+        X, y = circle_problem()
+        net = NeuralNetwork(2, n_hidden=12, seed=1)
+        losses = net.train(X, y, epochs=100)
+        assert losses[-1] < losses[0]
+
+    def test_early_stop_on_tol(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 1.0])
+        net = NeuralNetwork(1, n_hidden=4, seed=0)
+        losses = net.train(X, y, epochs=5000, tol=1e-3)
+        assert len(losses) < 5000
+        assert losses[-1] < 1e-3
+
+    def test_incremental_matches_idle_loop_pattern(self):
+        """Training in small increments converges like one long run."""
+        X, y = circle_problem()
+        net = NeuralNetwork(2, n_hidden=12, seed=1)
+        for _ in range(40):
+            loss = net.train_increment(X, y, epochs=10)
+        assert loss < 0.05
+        assert net.epochs_trained == 400
+
+    def test_refit_scaler_noop_when_stats_stable(self):
+        """Re-training on the same data must not perturb the scaler."""
+        X, y = circle_problem()
+        net = NeuralNetwork(2, seed=0)
+        net.train(X, y, epochs=50)
+        probe = np.random.default_rng(0).random((30, 2))
+        before = net.predict(probe)
+        net.refit_scaler(X)  # identical statistics
+        assert np.allclose(net.predict(probe), before)
+
+    def test_training_recovers_after_distribution_growth(self):
+        """Adding data from a new regime re-conditions the scaler and the
+        retained training set pulls the fit back — no permanent
+        saturation (the degenerate-time-column failure mode)."""
+        rng = np.random.default_rng(0)
+        X1 = np.concatenate([rng.random((80, 1)), np.full((80, 1), 130.0)], axis=1)
+        y1 = (X1[:, 0] > 0.5).astype(float)
+        net = NeuralNetwork(2, n_hidden=8, seed=1)
+        net.train_increment(X1, y1, epochs=100)
+        X2 = np.concatenate([rng.random((80, 1)), np.full((80, 1), 310.0)], axis=1)
+        y2 = (X2[:, 0] > 0.5).astype(float)
+        X = np.concatenate([X1, X2])
+        y = np.concatenate([y1, y2])
+        for _ in range(6):
+            loss = net.train_increment(X, y, epochs=50)
+        assert loss < 0.05
+
+    def test_scaler_tracks_growing_training_set(self):
+        """A degenerate column (single time step) must not freeze: adding
+        a second step later re-conditions the input space."""
+        rng = np.random.default_rng(0)
+        X1 = np.concatenate([rng.random((50, 1)), np.full((50, 1), 130.0)], axis=1)
+        net = NeuralNetwork(2, seed=0)
+        net.train_increment(X1, np.zeros(50))
+        X2 = np.concatenate([rng.random((50, 1)), np.full((50, 1), 310.0)], axis=1)
+        both = np.concatenate([X1, X2], axis=0)
+        net.train_increment(both, np.concatenate([np.zeros(50), np.ones(50)]))
+        assert net._std[1] > 1.0  # time column no longer degenerate
+
+    def test_shape_validation(self):
+        net = NeuralNetwork(2, seed=0)
+        with pytest.raises(ValueError):
+            net.train_increment(np.zeros((3, 5)), np.zeros(3))
+        with pytest.raises(ValueError):
+            net.train_increment(np.zeros((3, 2)), np.zeros(4))
+
+    def test_train_set_entry_point(self):
+        ts = TrainingSet(1)
+        ts.add([[0.0], [1.0]], [0.0, 1.0])
+        net = NeuralNetwork(1, n_hidden=4, seed=0)
+        losses = net.train_set(ts, epochs=500)
+        assert losses[-1] < 0.05
+
+    def test_deterministic_training(self):
+        X, y = circle_problem(100)
+        a = NeuralNetwork(2, seed=9)
+        b = NeuralNetwork(2, seed=9)
+        a.train(X, y, epochs=20)
+        b.train(X, y, epochs=20)
+        assert np.array_equal(a.w1, b.w1)
+
+
+class TestPredict:
+    def test_output_in_unit_interval(self):
+        X, y = circle_problem(100)
+        net = NeuralNetwork(2, seed=0)
+        net.train(X, y, epochs=30)
+        out = net.predict(np.random.default_rng(0).normal(size=(50, 2)) * 10)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_chunked_predict_matches(self):
+        X, y = circle_problem(200)
+        net = NeuralNetwork(2, seed=0)
+        net.train(X, y, epochs=30)
+        full = net.predict(X)
+        chunked = net.predict(X, chunk=17)
+        assert np.allclose(full, chunked)
+
+    def test_predict_before_training_raises(self):
+        with pytest.raises(RuntimeError):
+            NeuralNetwork(2, seed=0).predict(np.zeros((1, 2)))
+
+    def test_feature_count_checked(self):
+        X, y = circle_problem(50)
+        net = NeuralNetwork(2, seed=0)
+        net.train(X, y, epochs=5)
+        with pytest.raises(ValueError):
+            net.predict(np.zeros((1, 3)))
+
+    def test_loss_helper(self):
+        X, y = circle_problem(100)
+        net = NeuralNetwork(2, seed=0)
+        net.train(X, y, epochs=200)
+        assert net.loss(X, y) < 0.1
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_predictions_bounded_property(self, seed):
+        rng = np.random.default_rng(seed)
+        net = NeuralNetwork(3, seed=seed)
+        net.fit_scaler(rng.normal(size=(10, 3)))
+        out = net.predict(rng.normal(size=(20, 3)) * 100)
+        assert np.all((out >= 0) & (out <= 1))
+
+
+class TestResize:
+    def test_subset_transfers_weights(self):
+        net = NeuralNetwork(4, n_hidden=6, seed=0)
+        sub = net.with_input_subset([0, 2])
+        assert sub.n_inputs == 2
+        assert np.array_equal(sub.w1, net.w1[:, [0, 2]])
+        assert np.array_equal(sub.w2, net.w2)
+
+    def test_subset_transfers_scaler(self):
+        X, y = circle_problem(50)
+        X3 = np.concatenate([X, X[:, :1]], axis=1)
+        net = NeuralNetwork(3, seed=0)
+        net.train(X3, y, epochs=5)
+        sub = net.with_input_subset([0, 1])
+        assert np.array_equal(sub._mean, net._mean[[0, 1]])
+
+    def test_subset_prediction_works_after_retrain(self):
+        X, y = circle_problem(200)
+        noise = np.random.default_rng(0).random((200, 1))
+        X3 = np.concatenate([X, noise], axis=1)
+        net = NeuralNetwork(3, n_hidden=12, seed=1)
+        net.train(X3, y, epochs=200)
+        sub = net.with_input_subset([0, 1])
+        sub.train(X, y, epochs=100)
+        acc = ((sub.predict(X) > 0.5) == (y > 0.5)).mean()
+        assert acc > 0.9
+
+    def test_subset_validation(self):
+        net = NeuralNetwork(3, seed=0)
+        with pytest.raises(ValueError):
+            net.with_input_subset([])
+        with pytest.raises(ValueError):
+            net.with_input_subset([0, 0])
+        with pytest.raises(ValueError):
+            net.with_input_subset([5])
+
+
+class TestSerialization:
+    def test_roundtrip_predictions_identical(self):
+        X, y = circle_problem(100)
+        net = NeuralNetwork(2, seed=0)
+        net.train(X, y, epochs=50)
+        back = NeuralNetwork.from_dict(net.to_dict())
+        assert np.allclose(back.predict(X), net.predict(X))
+        assert back.epochs_trained == net.epochs_trained
+
+    def test_untrained_roundtrip(self):
+        net = NeuralNetwork(2, seed=0)
+        back = NeuralNetwork.from_dict(net.to_dict())
+        assert not back.is_fitted

@@ -1,0 +1,103 @@
+"""Tests for repro.segmentation.octree: compact feature masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.segmentation.octree import OctreeMask, encode_tracked_masks
+
+
+def blob_mask(shape=(20, 24, 28), center=None, radius=6):
+    z, y, x = np.meshgrid(*(np.arange(s) for s in shape), indexing="ij")
+    c = center or tuple(s // 2 for s in shape)
+    return (z - c[0]) ** 2 + (y - c[1]) ** 2 + (x - c[2]) ** 2 <= radius**2
+
+
+class TestRoundtrip:
+    def test_blob_roundtrip_exact(self):
+        mask = blob_mask()
+        oct_ = OctreeMask.from_mask(mask)
+        assert np.array_equal(oct_.to_mask(), mask)
+
+    def test_empty_mask_single_leaf(self):
+        oct_ = OctreeMask.from_mask(np.zeros((8, 8, 8), dtype=bool))
+        assert oct_.n_leaves == 1
+        assert not oct_.to_mask().any()
+
+    def test_full_cube_single_leaf(self):
+        oct_ = OctreeMask.from_mask(np.ones((16, 16, 16), dtype=bool))
+        assert oct_.n_leaves == 1
+        assert oct_.to_mask().all()
+
+    def test_full_nonpow2_roundtrip(self):
+        """Padding must not leak into the decoded mask."""
+        mask = np.ones((5, 7, 3), dtype=bool)
+        oct_ = OctreeMask.from_mask(mask)
+        assert np.array_equal(oct_.to_mask(), mask)
+
+    def test_single_voxel(self):
+        mask = np.zeros((9, 9, 9), dtype=bool)
+        mask[3, 4, 5] = True
+        oct_ = OctreeMask.from_mask(mask)
+        assert np.array_equal(oct_.to_mask(), mask)
+        assert oct_.feature_voxels() == 1
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            OctreeMask.from_mask(np.zeros((4, 4), dtype=bool))
+
+    @given(seed=st.integers(0, 500), p=st.floats(0.02, 0.5))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, seed, p):
+        rng = np.random.default_rng(seed)
+        mask = rng.random((9, 11, 7)) < p
+        oct_ = OctreeMask.from_mask(mask)
+        assert np.array_equal(oct_.to_mask(), mask)
+        assert oct_.feature_voxels() == int(mask.sum())
+
+
+class TestCompression:
+    def test_coherent_feature_compresses(self):
+        """A spatially coherent feature needs far fewer leaves than
+        voxels — the data-reduction claim."""
+        mask = blob_mask(shape=(64, 64, 64), radius=20)
+        oct_ = OctreeMask.from_mask(mask)
+        assert oct_.n_leaves < mask.size / 20
+        assert oct_.compression_ratio > 1.0
+
+    def test_noise_does_not_compress(self):
+        rng = np.random.default_rng(0)
+        noise = rng.random((16, 16, 16)) < 0.5
+        coherent = np.zeros((16, 16, 16), dtype=bool)
+        coherent[4:12, 4:12, 4:12] = True
+        assert (OctreeMask.from_mask(noise).n_leaves
+                > 10 * OctreeMask.from_mask(coherent).n_leaves)
+
+    def test_counts_consistent(self):
+        mask = blob_mask()
+        oct_ = OctreeMask.from_mask(mask)
+        assert oct_.feature_voxels() == int(mask.sum())
+        assert oct_.n_full_leaves <= oct_.n_leaves
+        assert oct_.encoded_bytes == oct_._leaves.nbytes
+
+
+class TestSerialization:
+    def test_arrays_roundtrip(self):
+        mask = blob_mask()
+        oct_ = OctreeMask.from_mask(mask)
+        back = OctreeMask.from_arrays(oct_.to_arrays())
+        assert np.array_equal(back.to_mask(), mask)
+        assert back.n_leaves == oct_.n_leaves
+
+
+class TestTrackedEncoding:
+    def test_encode_tracked_masks(self, vortex_small):
+        masks = [v.mask("vortex") for v in vortex_small]
+        encoded = encode_tracked_masks(masks)
+        assert len(encoded) == len(masks)
+        for oct_, mask in zip(encoded, masks):
+            assert np.array_equal(oct_.to_mask(), mask)
+        total_raw = sum(m.size for m in masks)
+        total_enc = sum(o.encoded_bytes for o in encoded)
+        assert total_enc < total_raw  # reduces data during tracking

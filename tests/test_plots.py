@@ -1,0 +1,83 @@
+"""Tests for repro.render.plots: the dependency-free chart rasterizer."""
+
+import numpy as np
+import pytest
+
+from repro.render.plots import bar_chart, draw_text, line_chart
+
+
+class TestDrawText:
+    def test_blits_pixels(self):
+        pix = np.ones((20, 80, 4), dtype=np.float32)
+        draw_text(pix, "ABC 123", 5, 5)
+        assert (pix[..., :3] < 0.5).any()
+
+    def test_clips_at_borders(self):
+        pix = np.ones((8, 8, 4), dtype=np.float32)
+        draw_text(pix, "WWWWW", 5, 5)  # runs off the edge without error
+        assert pix.shape == (8, 8, 4)
+
+    def test_unknown_glyph_is_blank(self):
+        pix = np.ones((10, 10, 4), dtype=np.float32)
+        before = pix.copy()
+        draw_text(pix, "~", 1, 1)
+        assert np.array_equal(pix, before)
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        img = line_chart(
+            {"iatf": ([0, 1, 2], [1.0, 1.0, 0.9]),
+             "static": ([0, 1, 2], [1.0, 0.2, 0.0])},
+            title="FIG 4",
+        )
+        assert img.shape == (240, 360)
+        rgb = img.composited()
+        assert (rgb < 0.9).any()  # something was drawn
+
+    def test_series_get_distinct_colors(self):
+        img = line_chart({"a": ([0, 1], [0, 1]), "b": ([0, 1], [1, 0])})
+        rgb = img.composited()
+        # at least two distinct non-grayscale colors present
+        colored = rgb[(rgb.max(axis=-1) - rgb.min(axis=-1)) > 0.2]
+        assert len(np.unique(colored.round(2), axis=0)) >= 2
+
+    def test_fixed_y_range(self):
+        img = line_chart({"a": ([0, 1], [0.4, 0.6])}, y_range=(0.0, 1.0))
+        assert img.shape == (240, 360)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": ([0, 1], [0.0])})
+
+    def test_constant_series_no_crash(self):
+        img = line_chart({"flat": ([0, 1, 2], [0.5, 0.5, 0.5])})
+        assert img.shape == (240, 360)
+
+    def test_save_roundtrip(self, tmp_path):
+        img = line_chart({"a": ([0, 1], [0, 1])})
+        path = img.save_ppm(tmp_path / "chart.ppm")
+        assert path.read_bytes().startswith(b"P6")
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        img = bar_chart({"mlp": 0.76, "svm": 0.59, "bayes": 0.57}, title="F1")
+        rgb = img.composited()
+        assert (rgb < 0.9).any()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_taller_bar_more_pixels(self):
+        short = bar_chart({"a": 0.1}, y_range=(0, 1))
+        tall = bar_chart({"a": 0.9}, y_range=(0, 1))
+
+        def bar_pixels(img):
+            rgb = img.composited()
+            return ((rgb[..., 2] > 0.6) & (rgb[..., 0] < 0.3)).sum()
+
+        assert bar_pixels(tall) > bar_pixels(short)

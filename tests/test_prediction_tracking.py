@@ -1,0 +1,84 @@
+"""Tests for repro.segmentation.prediction: prediction–verification tracking."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_vortex_sequence
+from repro.segmentation.prediction import PredictionVerificationTracker
+
+
+def vortex_setup(times=range(50, 75, 4), shape=(32, 32, 32)):
+    seq = make_vortex_sequence(shape=shape, times=times, seed=31)
+    criteria = np.stack([v.data > 0.5 for v in seq])
+    coords = np.argwhere(seq[0].mask("vortex"))
+    seed = tuple(int(c) for c in coords[len(coords) // 2])
+    return seq, criteria, seed
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictionVerificationTracker(max_distance=0)
+        with pytest.raises(ValueError):
+            PredictionVerificationTracker(max_volume_ratio=1.0)
+
+
+class TestTrack:
+    def test_tracks_smooth_motion(self):
+        seq, criteria, seed = vortex_setup()
+        tracker = PredictionVerificationTracker(max_distance=10.0)
+        res = tracker.track(seq, criteria, seed)
+        assert res.steps_tracked == len(seq)
+        assert all(res.matched)
+        assert all(c > 0 for c in res.voxel_counts)
+
+    def test_masks_follow_feature(self):
+        seq, criteria, seed = vortex_setup()
+        res = PredictionVerificationTracker(max_distance=10.0).track(seq, criteria, seed)
+        for i, vol in enumerate(seq):
+            overlap = (res.masks[i] & vol.mask("vortex")).sum()
+            assert overlap > 0.5 * res.masks[i].sum()
+
+    def test_history_attributes(self):
+        seq, criteria, seed = vortex_setup()
+        res = PredictionVerificationTracker(max_distance=10.0).track(seq, criteria, seed)
+        assert all(h is not None for h in res.history)
+        # centroid advances in +x as the vortex translates
+        assert res.history[-1].centroid[2] > res.history[0].centroid[2] + 3
+
+    def test_seed_outside_criterion_rejected(self):
+        seq, criteria, _ = vortex_setup()
+        with pytest.raises(ValueError, match="seed point"):
+            PredictionVerificationTracker().track(seq, criteria, (0, 0, 0))
+
+    def test_criteria_shape_validated(self):
+        seq, criteria, seed = vortex_setup()
+        with pytest.raises(ValueError):
+            PredictionVerificationTracker().track(seq, criteria[:2], seed)
+
+    def test_distance_gate_loses_fast_feature(self):
+        """A tight distance gate cannot verify a fast-moving feature."""
+        seq, criteria, seed = vortex_setup()
+        res = PredictionVerificationTracker(max_distance=0.25).track(seq, criteria, seed)
+        assert res.steps_tracked < len(seq)
+        # once lost, it stays lost (no re-acquisition)
+        first_lost = res.matched.index(False)
+        assert not any(res.matched[first_lost:])
+
+    def test_survives_no_overlap_motion(self):
+        """The regime where 4D region growing fails: temporal sampling so
+        coarse that consecutive occurrences do not overlap."""
+        from repro.segmentation.regiongrow import grow_4d
+
+        # steps 12 apart -> the tube translates farther than its width
+        seq, criteria, seed = vortex_setup(times=[50, 62, 74])
+        overlaps = [
+            (seq[i].mask("vortex") & seq[i + 1].mask("vortex")).sum()
+            for i in range(len(seq) - 1)
+        ]
+        if min(overlaps) > 0:
+            pytest.skip("synthetic motion still overlaps at this resolution")
+        grown = grow_4d(criteria, [(0, *seed)])
+        assert not grown[-1].any()  # region growing loses it
+        res = PredictionVerificationTracker(max_distance=14.0).track(seq, criteria, seed)
+        assert res.steps_tracked == len(seq)  # prediction-verification keeps it

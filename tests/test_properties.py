@@ -1,0 +1,177 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that tie subsystems together — the kind of relations a unit
+test with a single fixture can't pin down.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import background_leakage, feature_retention, jaccard
+from repro.segmentation import grow_region, label_components
+from repro.segmentation.octree import OctreeMask
+from repro.transfer import TransferFunction1D, interpolate_transfer_functions
+from repro.volume.histogram import CumulativeHistogram
+
+
+small_volumes = st.integers(0, 10_000).map(
+    lambda seed: np.random.default_rng(seed).random((6, 7, 8)).astype(np.float32)
+)
+
+
+class TestRegionGrowingProperties:
+    @given(seed=st.integers(0, 2000), p_small=st.floats(0.2, 0.5))
+    @settings(max_examples=25, deadline=None)
+    def test_growth_monotone_in_criterion(self, seed, p_small):
+        """Superset criterion ⇒ superset grown region (same seeds)."""
+        rng = np.random.default_rng(seed)
+        field = rng.random((8, 8, 8))
+        crit_small = field < p_small
+        crit_big = field < p_small + 0.3
+        seed_pt = tuple(int(c) for c in rng.integers(0, 8, size=3))
+        grown_small = grow_region(crit_small, [seed_pt])
+        grown_big = grow_region(crit_big, [seed_pt])
+        assert not (grown_small & ~grown_big).any()
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=25, deadline=None)
+    def test_components_partition_mask(self, seed):
+        """Labels cover exactly the mask and components are disjoint."""
+        mask = np.random.default_rng(seed).random((7, 7, 7)) > 0.5
+        labels, n = label_components(mask)
+        assert ((labels > 0) == mask).all()
+        sizes = np.bincount(labels.ravel(), minlength=n + 1)[1:]
+        assert sizes.sum() == mask.sum()
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=20, deadline=None)
+    def test_grown_region_is_one_component_union(self, seed):
+        """A region grown from one seed is exactly one connected component
+        of the criterion."""
+        rng = np.random.default_rng(seed)
+        crit = rng.random((8, 8, 8)) > 0.4
+        seed_pt = tuple(int(c) for c in rng.integers(0, 8, size=3))
+        grown = grow_region(crit, [seed_pt])
+        if not grown.any():
+            assert not crit[seed_pt]
+            return
+        labels, _ = label_components(crit)
+        assert len(np.unique(labels[grown])) == 1
+        assert (labels == labels[seed_pt]).sum() == grown.sum()
+
+
+class TestTransferFunctionProperties:
+    @given(seed=st.integers(0, 1000), alpha=st.floats(0.0, 1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_self_interpolation_identity(self, seed, alpha):
+        rng = np.random.default_rng(seed)
+        tf = TransferFunction1D((0.0, 1.0), entries=32,
+                                opacity=rng.random(32))
+        blended = interpolate_transfer_functions(tf, tf, alpha)
+        assert np.allclose(blended.opacity, tf.opacity)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_serialization_roundtrip_property(self, seed):
+        rng = np.random.default_rng(seed)
+        tf = TransferFunction1D((-2.0, 5.0), entries=64, opacity=rng.random(64))
+        back = TransferFunction1D.from_dict(tf.to_dict())
+        probe = rng.uniform(-3, 6, size=50)
+        assert np.allclose(back.opacity_at(probe), tf.opacity_at(probe))
+
+    @given(volume=small_volumes, threshold=st.floats(0.05, 0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_opacity_mask_consistent_with_lookup(self, volume, threshold):
+        tf = TransferFunction1D((0.0, 1.0)).add_box(0.3, 0.8, 0.7)
+        mask = tf.opacity_mask(volume, threshold=threshold)
+        op = tf.opacity_at(volume)
+        assert np.array_equal(mask, op > threshold)
+
+
+class TestMetricProperties:
+    @given(seed=st.integers(0, 1000), t1=st.floats(0.1, 0.4), t2=st.floats(0.5, 0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_retention_monotone_in_threshold(self, seed, t1, t2):
+        """Raising the visibility threshold can only lower retention."""
+        rng = np.random.default_rng(seed)
+        opacity = rng.random((6, 6, 6))
+        truth = rng.random((6, 6, 6)) > 0.5
+        assert feature_retention(opacity, truth, t2) <= feature_retention(opacity, truth, t1)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_retention_leakage_complement_under_inversion(self, seed):
+        """Swapping the truth mask swaps the roles of retention and
+        (1 - leakage) for a binary opacity field."""
+        rng = np.random.default_rng(seed)
+        opacity = (rng.random((5, 5, 5)) > 0.5).astype(float)
+        truth = rng.random((5, 5, 5)) > 0.5
+        if not truth.any() or truth.all():
+            return
+        ret_inv = feature_retention(opacity, ~truth)
+        leak = background_leakage(opacity, truth)
+        assert ret_inv == pytest.approx(leak)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_jaccard_triangle_like(self, seed):
+        """Jaccard distance (1 - J) satisfies the triangle inequality."""
+        rng = np.random.default_rng(seed)
+        a = rng.random((4, 4, 4)) > 0.5
+        b = rng.random((4, 4, 4)) > 0.5
+        c = rng.random((4, 4, 4)) > 0.5
+        dab = 1 - jaccard(a, b)
+        dbc = 1 - jaccard(b, c)
+        dac = 1 - jaccard(a, c)
+        assert dac <= dab + dbc + 1e-12
+
+
+class TestHistogramProperties:
+    @given(seed=st.integers(0, 1000), gain=st.floats(0.2, 3.0), offset=st.floats(-5, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_cdf_invariant_under_affine_map(self, seed, gain, offset):
+        """Any positive affine map preserves every value's CDF coordinate
+        — the Sec. 4.2.1 principle in full generality."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(8, 8, 8))
+        mapped = gain * data + offset
+        q = float(np.quantile(data, 0.7))
+        ch_a = CumulativeHistogram.of(data, bins=512)
+        ch_b = CumulativeHistogram.of(mapped, bins=512)
+        ca = ch_a.at_values([q])[0]
+        cb = ch_b.at_values([gain * q + offset])[0]
+        assert ca == pytest.approx(cb, abs=0.02)
+
+    @given(volume=small_volumes)
+    @settings(max_examples=20, deadline=None)
+    def test_at_voxels_matches_at_values(self, volume):
+        ch = CumulativeHistogram.of(volume)
+        via_voxels = ch.at_voxels(volume)
+        via_values = ch.at_values(volume.ravel()).reshape(volume.shape)
+        assert np.array_equal(via_voxels, via_values)
+
+
+class TestOctreeProperties:
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=20, deadline=None)
+    def test_reencode_idempotent(self, seed):
+        mask = np.random.default_rng(seed).random((6, 9, 5)) > 0.6
+        once = OctreeMask.from_mask(mask)
+        twice = OctreeMask.from_mask(once.to_mask())
+        assert once.n_leaves == twice.n_leaves
+        assert np.array_equal(once.to_mask(), twice.to_mask())
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=20, deadline=None)
+    def test_union_voxel_counts(self, seed):
+        """|A| + |B| = |A∪B| + |A∩B| via octree counts."""
+        rng = np.random.default_rng(seed)
+        a = rng.random((8, 8, 8)) > 0.6
+        b = rng.random((8, 8, 8)) > 0.6
+        na = OctreeMask.from_mask(a).feature_voxels()
+        nb = OctreeMask.from_mask(b).feature_voxels()
+        nu = OctreeMask.from_mask(a | b).feature_voxels()
+        ni = OctreeMask.from_mask(a & b).feature_voxels()
+        assert na + nb == nu + ni

@@ -1,0 +1,120 @@
+"""Tests for repro.volume.pyramid: level-of-detail viewing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.volume import Volume
+from repro.volume.pyramid import VolumePyramid, downsample2
+
+
+class TestDownsample2:
+    def test_halves_even_axes(self):
+        out = downsample2(np.zeros((8, 6, 4), dtype=np.float32))
+        assert out.shape == (4, 3, 2)
+
+    def test_pads_odd_axes(self):
+        out = downsample2(np.zeros((5, 7, 9), dtype=np.float32))
+        assert out.shape == (3, 4, 5)
+
+    def test_block_mean_exact(self):
+        data = np.arange(8, dtype=np.float32).reshape(2, 2, 2)
+        out = downsample2(data)
+        assert out.shape == (1, 1, 1)
+        assert out[0, 0, 0] == pytest.approx(data.mean())
+
+    def test_constant_preserved(self):
+        out = downsample2(np.full((6, 6, 6), 3.5, dtype=np.float32))
+        assert np.allclose(out, 3.5)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            downsample2(np.zeros((4, 4)))
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_mean_preserved_property(self, seed):
+        """For even shapes, pooling preserves the global mean exactly."""
+        data = np.random.default_rng(seed).random((6, 8, 4)).astype(np.float32)
+        out = downsample2(data)
+        assert out.mean() == pytest.approx(data.mean(), abs=1e-5)
+
+
+class TestVolumePyramid:
+    def test_auto_levels(self):
+        pyr = VolumePyramid(np.zeros((32, 32, 32), dtype=np.float32))
+        assert pyr.n_levels >= 3
+        assert pyr.shapes()[0] == (32, 32, 32)
+        assert pyr.shapes()[1] == (16, 16, 16)
+
+    def test_explicit_levels(self):
+        pyr = VolumePyramid(np.zeros((32, 32, 32), dtype=np.float32), levels=2)
+        assert pyr.n_levels == 2
+
+    def test_levels_validated(self):
+        with pytest.raises(ValueError):
+            VolumePyramid(np.zeros((8, 8, 8)), levels=0)
+
+    def test_metadata_propagates(self):
+        vol = Volume(np.zeros((8, 8, 8)), time=42, name="argon")
+        pyr = VolumePyramid(vol)
+        assert pyr.level(1).time == 42
+        assert pyr.level(1).name == "argon"
+
+    def test_level_bounds(self):
+        pyr = VolumePyramid(np.zeros((8, 8, 8)), levels=2)
+        with pytest.raises(IndexError):
+            pyr.level(5)
+
+    def test_coarse_render_is_faster(self):
+        """The LoD point: navigating at a coarse level costs far less."""
+        from repro.render import Camera, render_volume
+        from repro.transfer import TransferFunction1D
+        from repro.utils.timing import Timer
+
+        rng = np.random.default_rng(0)
+        pyr = VolumePyramid(rng.random((64, 64, 64)).astype(np.float32))
+        tf = TransferFunction1D((0.0, 1.0)).add_box(0.5, 1.0, 0.4)
+        cam = Camera(width=48, height=48)
+        with Timer() as fine:
+            render_volume(pyr.level(0), tf, cam, shading=False)
+        with Timer() as coarse:
+            render_volume(pyr.level(2), tf, cam, shading=False)
+        assert coarse.elapsed < fine.elapsed
+
+
+class TestCoarsestLevelWith:
+    def make_pyramid(self):
+        data = np.zeros((32, 32, 32), dtype=np.float32)
+        data[4:20, 4:20, 4:20] = 1.0  # large 16^3 block
+        data[26, 26, 26] = 1.0  # single-voxel feature
+        large = np.zeros((32, 32, 32), dtype=bool)
+        large[4:20, 4:20, 4:20] = True
+        small = np.zeros((32, 32, 32), dtype=bool)
+        small[26, 26, 26] = True
+        return VolumePyramid(data), large, small
+
+    def test_large_feature_survives_coarser_than_small(self):
+        pyr, large, small = self.make_pyramid()
+        assert pyr.coarsest_level_with(large) > pyr.coarsest_level_with(small)
+
+    def test_small_feature_vanishes_immediately(self):
+        pyr, _, small = self.make_pyramid()
+        assert pyr.coarsest_level_with(small) == 0
+
+    def test_validation(self):
+        pyr, large, _ = self.make_pyramid()
+        with pytest.raises(ValueError):
+            pyr.coarsest_level_with(np.zeros((32, 32, 32), dtype=bool))
+        with pytest.raises(ValueError):
+            pyr.coarsest_level_with(np.zeros((4, 4, 4), dtype=bool))
+
+    def test_cosmology_size_separation(self, cosmology_small):
+        """The Sec. 4.3 usage: the pyramid level a feature survives to is
+        a viewable size measure separating large from small."""
+        vol = cosmology_small.at_time(310)
+        pyr = VolumePyramid(vol)
+        lvl_large = pyr.coarsest_level_with(vol.mask("large"), threshold=0.5)
+        lvl_small = pyr.coarsest_level_with(vol.mask("small"), threshold=0.5)
+        assert lvl_large > lvl_small

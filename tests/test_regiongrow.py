@@ -1,0 +1,150 @@
+"""Tests for repro.segmentation.regiongrow: 3D/4D growth invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.segmentation import grow_4d, grow_region
+
+
+def two_blob_criterion():
+    """Two disconnected boxes in a 12³ grid."""
+    crit = np.zeros((12, 12, 12), dtype=bool)
+    crit[1:5, 1:5, 1:5] = True
+    crit[7:11, 7:11, 7:11] = True
+    return crit
+
+
+class TestGrowRegion:
+    @pytest.mark.parametrize("backend", ["scipy", "frontier"])
+    def test_grows_only_seeded_component(self, backend):
+        crit = two_blob_criterion()
+        grown = grow_region(crit, [(2, 2, 2)], backend=backend)
+        assert grown[1:5, 1:5, 1:5].all()
+        assert not grown[7:11, 7:11, 7:11].any()
+
+    @pytest.mark.parametrize("backend", ["scipy", "frontier"])
+    def test_result_subset_of_criterion(self, backend):
+        crit = two_blob_criterion()
+        grown = grow_region(crit, [(2, 2, 2)], backend=backend)
+        assert not (grown & ~crit).any()
+
+    @pytest.mark.parametrize("backend", ["scipy", "frontier"])
+    def test_seed_outside_criterion_empty(self, backend):
+        crit = two_blob_criterion()
+        grown = grow_region(crit, [(6, 6, 6)], backend=backend)
+        assert not grown.any()
+
+    def test_seed_mask_form(self):
+        crit = two_blob_criterion()
+        seed_mask = np.zeros_like(crit)
+        seed_mask[2, 2, 2] = True
+        grown = grow_region(crit, seed_mask)
+        assert grown[1:5, 1:5, 1:5].all()
+
+    def test_multiple_seeds_union(self):
+        crit = two_blob_criterion()
+        grown = grow_region(crit, [(2, 2, 2), (8, 8, 8)])
+        assert grown.sum() == crit.sum()
+
+    def test_empty_seed_list(self):
+        crit = two_blob_criterion()
+        grown = grow_region(crit, np.empty((0, 3), dtype=np.int64))
+        assert not grown.any()
+
+    def test_diagonal_needs_full_connectivity(self):
+        crit = np.zeros((4, 4, 4), dtype=bool)
+        crit[0, 0, 0] = True
+        crit[1, 1, 1] = True
+        face = grow_region(crit, [(0, 0, 0)], connectivity=1)
+        full = grow_region(crit, [(0, 0, 0)], connectivity=3)
+        assert face.sum() == 1
+        assert full.sum() == 2
+
+    def test_backend_agreement_random(self):
+        rng = np.random.default_rng(0)
+        crit = rng.random((10, 10, 10)) > 0.45
+        seeds = [(5, 5, 5)]
+        a = grow_region(crit, seeds, backend="scipy")
+        b = grow_region(crit, seeds, backend="frontier")
+        assert np.array_equal(a, b)
+
+    @given(seed=st.integers(0, 1000), p=st.floats(0.2, 0.8))
+    @settings(max_examples=20, deadline=None)
+    def test_invariants_property(self, seed, p):
+        """grown ⊆ criterion; grown ⊇ seeds∩criterion; idempotent."""
+        rng = np.random.default_rng(seed)
+        crit = rng.random((8, 8, 8)) < p
+        seed_pt = tuple(int(c) for c in rng.integers(0, 8, size=3))
+        grown = grow_region(crit, [seed_pt])
+        assert not (grown & ~crit).any()
+        if crit[seed_pt]:
+            assert grown[seed_pt]
+        regrown = grow_region(crit, grown)
+        assert np.array_equal(grown, regrown)
+
+    def test_bad_backend(self):
+        with pytest.raises(ValueError):
+            grow_region(two_blob_criterion(), [(2, 2, 2)], backend="gpu")
+
+    def test_bad_connectivity(self):
+        with pytest.raises(ValueError):
+            grow_region(two_blob_criterion(), [(2, 2, 2)], connectivity=0)
+
+    def test_seed_out_of_range(self):
+        with pytest.raises(IndexError):
+            grow_region(two_blob_criterion(), [(50, 0, 0)])
+
+    def test_seed_wrong_arity(self):
+        with pytest.raises(ValueError):
+            grow_region(two_blob_criterion(), [(1, 1)])
+
+
+class TestGrow4D:
+    def moving_blob_stack(self, n_steps=4):
+        """A blob moving one voxel per step; consecutive steps overlap."""
+        stack = np.zeros((n_steps, 8, 8, 8), dtype=bool)
+        for t in range(n_steps):
+            stack[t, 2:5, 2:5, 2 + t : 5 + t] = True
+        return stack
+
+    def test_tracks_across_time_from_first_step_seed(self):
+        stack = self.moving_blob_stack()
+        grown = grow_4d(stack, [(0, 3, 3, 3)])
+        for t in range(4):
+            assert grown[t].any(), f"lost the feature at step {t}"
+        assert np.array_equal(grown, stack)
+
+    def test_no_time_connect_stays_in_step(self):
+        stack = self.moving_blob_stack()
+        grown = grow_4d(stack, [(0, 3, 3, 3)], time_connect=False)
+        assert grown[0].any()
+        assert not grown[1:].any()
+
+    def test_temporal_gap_breaks_tracking(self):
+        stack = self.moving_blob_stack()
+        stack[2] = False  # feature vanishes for one step
+        grown = grow_4d(stack, [(0, 3, 3, 3)])
+        assert grown[0].any() and grown[1].any()
+        assert not grown[2].any() and not grown[3].any()
+
+    def test_non_overlapping_motion_breaks_tracking(self):
+        """If the feature jumps farther than its size, 4D growth cannot
+        follow — the paper's sufficient-temporal-sampling assumption."""
+        stack = np.zeros((2, 8, 8, 8), dtype=bool)
+        stack[0, 0:2, 0:2, 0:2] = True
+        stack[1, 5:7, 5:7, 5:7] = True
+        grown = grow_4d(stack, [(0, 0, 0, 0)])
+        assert grown[0].any()
+        assert not grown[1].any()
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValueError):
+            grow_4d(np.zeros((4, 4, 4), dtype=bool), [(0, 0, 0)])
+
+    def test_list_of_3d_masks_accepted(self):
+        masks = [np.ones((4, 4, 4), dtype=bool)] * 3
+        grown = grow_4d(masks, [(0, 1, 1, 1)])
+        assert grown.shape == (3, 4, 4, 4)
+        assert grown.all()

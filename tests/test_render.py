@@ -1,0 +1,262 @@
+"""Tests for repro.render: camera, images, ray casting, slicing, multipass."""
+
+import numpy as np
+import pytest
+
+from repro.render import Camera, Image, render_rgba_volume, render_tracked, render_volume, slice_image
+from repro.render.image import save_pgm
+from repro.render.shading import phong_shade
+from repro.render.slicer import classification_overlay
+from repro.transfer import TransferFunction1D, grayscale_colormap
+from repro.volume import Volume
+
+
+def blob_volume(n=20):
+    z, y, x = np.meshgrid(*(np.arange(n, dtype=np.float32),) * 3, indexing="ij")
+    r2 = (z - n / 2) ** 2 + (y - n / 2) ** 2 + (x - n / 2) ** 2
+    return Volume(np.exp(-r2 / (2 * (n / 6) ** 2)))
+
+
+def visible_tf():
+    return TransferFunction1D((0.0, 1.0)).add_box(0.3, 1.0, 0.8)
+
+
+class TestCamera:
+    def test_basis_orthonormal(self):
+        f, r, u = Camera(azimuth=40, elevation=25).basis()
+        for v in (f, r, u):
+            assert np.linalg.norm(v) == pytest.approx(1.0)
+        assert abs(np.dot(f, r)) < 1e-9
+        assert abs(np.dot(f, u)) < 1e-9
+        assert abs(np.dot(r, u)) < 1e-9
+
+    def test_pole_view_no_degenerate_basis(self):
+        f, r, u = Camera(azimuth=0, elevation=90).basis()
+        assert np.isfinite(r).all() and np.linalg.norm(r) == pytest.approx(1.0)
+
+    def test_ray_grid_shapes(self):
+        cam = Camera(width=16, height=12)
+        origins, directions, n = cam.ray_grid((20, 20, 20), step=1.0)
+        assert origins.shape == (16 * 12, 3)
+        assert directions.shape == (16 * 12, 3)
+        assert n >= 2
+
+    def test_orthographic_rays_parallel(self):
+        cam = Camera(width=8, height=8)
+        _, directions, _ = cam.ray_grid((10, 10, 10))
+        assert np.allclose(directions, directions[0])
+
+    def test_perspective_rays_diverge_and_unit(self):
+        cam = Camera(width=8, height=8, projection="perspective")
+        _, directions, _ = cam.ray_grid((10, 10, 10))
+        assert not np.allclose(directions, directions[0])
+        assert np.allclose(np.linalg.norm(directions, axis=1), 1.0, atol=1e-5)
+
+    def test_perspective_render_covers_center(self):
+        img = render_volume(
+            blob_volume(), visible_tf(),
+            Camera(width=24, height=24, projection="perspective"),
+            shading=False,
+        )
+        assert img.coverage() > 0.02
+        alpha = img.pixels[..., 3]
+        cy, cx = np.unravel_index(alpha.argmax(), alpha.shape)
+        assert 6 < cy < 18 and 6 < cx < 18
+
+    def test_perspective_foreshortening(self):
+        """An object in front of the center plane (near the eye) projects
+        larger under perspective than under orthographic projection; the
+        view-plane mapping at the center depth is shared, so only off-plane
+        objects reveal the divergence."""
+        n = 24
+        z, y, x = np.meshgrid(*(np.arange(n, dtype=np.float32),) * 3, indexing="ij")
+        # blob offset toward -x, i.e. toward the eye of an azimuth-0 camera
+        r2 = (z - n / 2) ** 2 + (y - n / 2) ** 2 + (x - 5) ** 2
+        vol = Volume(np.exp(-r2 / (2 * 3.0**2)))
+        ortho = render_volume(vol, visible_tf(),
+                              Camera(azimuth=0, elevation=0, width=32, height=32),
+                              shading=False)
+        persp = render_volume(vol, visible_tf(),
+                              Camera(azimuth=0, elevation=0, width=32, height=32,
+                                     projection="perspective", eye_distance=1.3),
+                              shading=False)
+        assert persp.coverage() > 1.2 * ortho.coverage()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Camera(width=0)
+        with pytest.raises(ValueError):
+            Camera(zoom=0)
+        with pytest.raises(ValueError):
+            Camera(projection="fisheye")
+        with pytest.raises(ValueError):
+            Camera(projection="perspective", eye_distance=0.5)
+
+
+class TestImage:
+    def test_coverage_empty(self):
+        assert Image(8, 8).coverage() == 0.0
+
+    def test_from_array_validates(self):
+        with pytest.raises(ValueError):
+            Image.from_array(np.zeros((4, 4, 3)))
+
+    def test_composited_background(self):
+        img = Image(2, 2, background=(1.0, 0.0, 0.0))
+        rgb = img.composited()
+        assert np.allclose(rgb[..., 0], 1.0)
+        assert np.allclose(rgb[..., 1:], 0.0)
+
+    def test_save_ppm(self, tmp_path):
+        img = Image(4, 6)
+        path = img.save_ppm(tmp_path / "out.ppm")
+        raw = path.read_bytes()
+        assert raw.startswith(b"P6\n6 4\n255\n")
+        assert len(raw) == len(b"P6\n6 4\n255\n") + 4 * 6 * 3
+
+    def test_save_pgm(self, tmp_path):
+        path = save_pgm(np.random.default_rng(0).random((4, 6)), tmp_path / "out.pgm")
+        assert path.read_bytes().startswith(b"P5\n6 4\n255\n")
+
+    def test_pgm_rejects_3d(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_pgm(np.zeros((2, 2, 2)), tmp_path / "x.pgm")
+
+
+class TestPhongShade:
+    def test_flat_gradient_fallback(self):
+        colors = np.ones((4, 3)) * 0.5
+        grads = np.zeros((4, 3))
+        out = phong_shade(colors, grads, (0, 0, 1), (0, 0, 1), ambient=0.3, diffuse=0.6)
+        assert np.allclose(out, 0.5 * 0.9)
+
+    def test_facing_normal_brighter_than_grazing(self):
+        colors = np.ones((2, 3)) * 0.5
+        grads = np.array([[0.0, 0.0, 1.0], [0.0, 1.0, 0.0]])
+        out = phong_shade(colors, grads, (0, 0, 1), (0, 0, 1))
+        assert out[0].mean() > out[1].mean()
+
+    def test_two_sided(self):
+        colors = np.ones((2, 3)) * 0.5
+        grads = np.array([[0.0, 0.0, 1.0], [0.0, 0.0, -1.0]])
+        out = phong_shade(colors, grads, (0, 0, 1), (0, 0, 1))
+        assert np.allclose(out[0], out[1])
+
+    def test_output_clipped(self):
+        colors = np.ones((1, 3))
+        grads = np.array([[0.0, 0.0, 1.0]])
+        out = phong_shade(colors, grads, (0, 0, 1), (0, 0, 1), specular=5.0)
+        assert out.max() <= 1.0
+
+
+class TestRenderVolume:
+    def test_blob_renders_centered(self):
+        img = render_volume(blob_volume(), visible_tf(), Camera(width=32, height=32), shading=False)
+        assert img.coverage() > 0.02
+        alpha = img.pixels[..., 3]
+        cy, cx = np.unravel_index(alpha.argmax(), alpha.shape)
+        assert 8 < cy < 24 and 8 < cx < 24
+
+    def test_transparent_tf_renders_nothing(self):
+        tf = TransferFunction1D((0.0, 1.0))
+        img = render_volume(blob_volume(), tf, Camera(width=16, height=16))
+        assert img.coverage() == 0.0
+
+    def test_shading_changes_image(self):
+        cam = Camera(width=24, height=24)
+        a = render_volume(blob_volume(), visible_tf(), cam, shading=False)
+        b = render_volume(blob_volume(), visible_tf(), cam, shading=True)
+        assert not np.allclose(a.pixels, b.pixels)
+
+    def test_step_size_opacity_correction(self):
+        """Halving the step should not dramatically change accumulated alpha."""
+        cam = Camera(width=16, height=16)
+        a = render_volume(blob_volume(), visible_tf(), cam, step=1.0, shading=False)
+        b = render_volume(blob_volume(), visible_tf(), cam, step=0.5, shading=False)
+        mask = a.pixels[..., 3] > 0.3
+        assert np.abs(a.pixels[..., 3][mask] - b.pixels[..., 3][mask]).mean() < 0.12
+
+    def test_alpha_bounded(self):
+        img = render_volume(blob_volume(), visible_tf(), Camera(width=16, height=16))
+        assert img.pixels[..., 3].max() <= 1.0 + 1e-5
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            render_volume(np.zeros((4, 4)), visible_tf())
+
+
+class TestRenderRGBA:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            render_rgba_volume(np.zeros((4, 4, 4, 3)))
+
+    def test_opaque_red_cube(self):
+        rgba = np.zeros((10, 10, 10, 4), dtype=np.float32)
+        rgba[3:7, 3:7, 3:7] = (1.0, 0.0, 0.0, 1.0)
+        img = render_rgba_volume(rgba, Camera(width=24, height=24))
+        strong = img.pixels[..., 3] > 0.5
+        assert strong.any()
+        assert img.pixels[strong, 0].mean() > 5 * img.pixels[strong, 1].mean()
+
+    def test_shading_field_shape_checked(self):
+        rgba = np.zeros((4, 4, 4, 4), dtype=np.float32)
+        with pytest.raises(ValueError):
+            render_rgba_volume(rgba, shading_field=np.zeros((5, 5, 5)))
+
+
+class TestRenderTracked:
+    def test_highlight_appears_red(self):
+        vol = blob_volume()
+        tracked = vol.data > 0.5
+        context = TransferFunction1D((0.0, 1.0), colormap=grayscale_colormap()).add_box(0.05, 1.0, 0.15)
+        img = render_tracked(vol, tracked, context, camera=Camera(width=32, height=32), shading=False)
+        strong = img.pixels[..., 3] > 0.3
+        assert strong.any()
+        reds = img.pixels[strong]
+        assert reds[:, 0].mean() > 1.5 * reds[:, 1].mean()
+
+    def test_mask_shape_validated(self):
+        vol = blob_volume()
+        with pytest.raises(ValueError):
+            render_tracked(vol, np.zeros((2, 2, 2), bool), visible_tf())
+
+    def test_adaptive_tf_opacity_used(self):
+        from repro.render.multipass import tracked_rgba
+
+        vol = blob_volume()
+        tracked = vol.data > 0.5
+        context = TransferFunction1D((0.0, 1.0))
+        adaptive = TransferFunction1D((0.0, 1.0)).add_box(0.0, 1.0, 0.9)
+        rgba = tracked_rgba(vol, tracked, context, adaptive)
+        assert np.allclose(rgba[tracked, 3], 0.9)
+        assert np.allclose(rgba[~tracked, 3], 0.0)
+
+
+class TestSlicer:
+    def test_grayscale_slice(self):
+        vol = blob_volume()
+        img = slice_image(vol, 0, 10)
+        assert img.shape == (20, 20)
+        assert img.pixels[..., 3].max() == 1.0
+
+    def test_tf_slice_opacity_modulated(self):
+        vol = blob_volume()
+        img = slice_image(vol, 0, 10, tf=visible_tf())
+        center_alpha = img.pixels[10, 10, 3]
+        corner_alpha = img.pixels[0, 0, 3]
+        assert center_alpha > corner_alpha
+
+    def test_classification_overlay_tints(self):
+        vol = blob_volume()
+        cert = np.zeros(vol.shape, dtype=np.float32)
+        cert[10] = 1.0
+        img = classification_overlay(vol, cert, 0, 10)
+        img_off = classification_overlay(vol, cert, 0, 5)
+        assert img.pixels[..., 0].mean() > img_off.pixels[..., 0].mean()
+
+    def test_overlay_validation(self):
+        vol = blob_volume()
+        with pytest.raises(ValueError):
+            classification_overlay(vol, np.zeros((2, 2, 2)), 0, 1)
+        with pytest.raises(ValueError):
+            classification_overlay(vol, np.zeros(vol.shape), 0, 1, strength=2.0)

@@ -1,0 +1,64 @@
+"""Property-based renderer invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.render import Camera, render_rgba_volume, render_volume
+from repro.transfer import TransferFunction1D
+
+
+def blob(n=14):
+    z, y, x = np.meshgrid(*(np.arange(n, dtype=np.float32),) * 3, indexing="ij")
+    r2 = (z - n / 2) ** 2 + (y - n / 2) ** 2 + (x - n / 2) ** 2
+    return np.exp(-r2 / (2 * (n / 6) ** 2)).astype(np.float32)
+
+
+class TestCompositingInvariants:
+    @given(az=st.floats(0, 360), el=st.floats(-80, 80))
+    @settings(max_examples=15, deadline=None)
+    def test_alpha_bounded_any_view(self, az, el):
+        tf = TransferFunction1D((0.0, 1.0)).add_box(0.3, 1.0, 0.7)
+        cam = Camera(azimuth=az, elevation=el, width=12, height=12)
+        img = render_volume(blob(), tf, cam, shading=False)
+        a = img.pixels[..., 3]
+        assert a.min() >= 0.0 and a.max() <= 1.0 + 1e-5
+        rgb = img.pixels[..., :3]
+        assert rgb.min() >= 0.0 and rgb.max() <= 1.0 + 1e-5
+
+    @given(az=st.floats(0, 360), el=st.floats(-80, 80))
+    @settings(max_examples=15, deadline=None)
+    def test_camera_basis_orthonormal_any_angle(self, az, el):
+        f, r, u = Camera(azimuth=az, elevation=el).basis()
+        for v in (f, r, u):
+            assert np.linalg.norm(v) == pytest.approx(1.0, abs=1e-9)
+        assert abs(np.dot(f, r)) < 1e-9
+        assert abs(np.dot(f, u)) < 1e-9
+        assert abs(np.dot(r, u)) < 1e-9
+
+    @given(op=st.floats(0.05, 1.0))
+    @settings(max_examples=10, deadline=None)
+    def test_more_opacity_never_less_alpha(self, op):
+        """Raising the TF's uniform opacity cannot decrease any pixel's
+        accumulated alpha (front-to-back monotonicity)."""
+        cam = Camera(width=12, height=12)
+        tf_lo = TransferFunction1D((0.0, 1.0)).add_box(0.3, 1.0, op * 0.5)
+        tf_hi = TransferFunction1D((0.0, 1.0)).add_box(0.3, 1.0, op)
+        a_lo = render_volume(blob(), tf_lo, cam, shading=False).pixels[..., 3]
+        a_hi = render_volume(blob(), tf_hi, cam, shading=False).pixels[..., 3]
+        assert np.all(a_hi >= a_lo - 1e-6)
+
+    def test_empty_rgba_volume_renders_empty(self):
+        rgba = np.zeros((8, 8, 8, 4), dtype=np.float32)
+        img = render_rgba_volume(rgba, Camera(width=10, height=10))
+        assert img.coverage() == 0.0
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_rgba_render_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        rgba = rng.random((8, 8, 8, 4)).astype(np.float32)
+        img = render_rgba_volume(rgba, Camera(width=10, height=10))
+        assert img.pixels.min() >= 0.0
+        assert img.pixels[..., 3].max() <= 1.0 + 1e-5

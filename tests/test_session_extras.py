@@ -1,0 +1,142 @@
+"""Tests for histogram timelines and active paint suggestions."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataSpaceClassifier, ShellFeatureExtractor
+from repro.interface.session import suggest_paint_locations
+from repro.volume.histogram import histogram_timeline
+
+
+class TestHistogramTimeline:
+    def test_shape(self, argon_small):
+        tl = histogram_timeline(argon_small, bins=64)
+        assert tl.shape == (len(argon_small), 64)
+
+    def test_rows_sum_to_voxels(self, argon_small):
+        tl = histogram_timeline(argon_small, bins=64)
+        nz, ny, nx = argon_small.shape
+        assert np.allclose(tl.sum(axis=1), nz * ny * nx)
+
+    def test_cumulative_rows_monotone_to_one(self, argon_small):
+        tl = histogram_timeline(argon_small, bins=64, cumulative=True)
+        assert np.all(np.diff(tl, axis=1) >= 0)
+        assert np.allclose(tl[:, -1], 1.0)
+
+    def test_peak_path_drifts_in_plain_not_in_cumulative(self, argon_small):
+        """The Fig. 2 picture, as data: in the plain timeline the ring
+        peak's bin moves right over time; in CDF rows the ring's
+        coordinate band stays flat."""
+        from repro.data.argon import ring_value_at
+
+        tl_cum = histogram_timeline(argon_small, bins=256, cumulative=True)
+        domain = argon_small.value_range
+        coords = []
+        for i, t in enumerate(argon_small.times):
+            rv = ring_value_at(argon_small, t)
+            b = int((rv - domain[0]) / (domain[1] - domain[0]) * 256)
+            coords.append((b, tl_cum[i, min(b, 255)]))
+        bins = [c[0] for c in coords]
+        cdfs = [c[1] for c in coords]
+        assert max(bins) - min(bins) > 30  # peak bin moves a lot
+        assert max(cdfs) - min(cdfs) < 0.06  # CDF coordinate barely moves
+
+
+class TestSuggestPaintLocations:
+    @pytest.fixture(scope="class")
+    def trained(self, cosmology_small):
+        vol = cosmology_small.at_time(310)
+        rng = np.random.default_rng(0)
+        clf = DataSpaceClassifier(ShellFeatureExtractor(radius=2), seed=3)
+        large = vol.mask("large")
+
+        def sample(mask, n):
+            coords = np.argwhere(mask)
+            sel = coords[rng.choice(len(coords), size=min(n, len(coords)), replace=False)]
+            m = np.zeros(mask.shape, dtype=bool)
+            m[tuple(sel.T)] = True
+            return m
+
+        clf.add_examples(vol, positive_mask=sample(large, 60),
+                         negative_mask=sample(~large, 60))
+        clf.train(epochs=150)
+        return clf, vol
+
+    def test_returns_requested_count(self, trained):
+        clf, vol = trained
+        coords = suggest_paint_locations(clf, vol, n=5)
+        assert coords.shape == (5, 3)
+
+    def test_suggestions_are_ambiguous_voxels(self, trained):
+        clf, vol = trained
+        cert = clf.classify(vol)
+        coords = suggest_paint_locations(clf, vol, n=5)
+        ambiguity = np.abs(cert[tuple(coords.T)] - 0.5)
+        # suggested voxels are far more ambiguous than the volume median
+        assert ambiguity.mean() < np.abs(cert - 0.5).mean()
+
+    def test_spread_apart(self, trained):
+        clf, vol = trained
+        coords = suggest_paint_locations(clf, vol, n=6, min_separation=5)
+        for i in range(len(coords)):
+            for j in range(i + 1, len(coords)):
+                assert np.abs(coords[i] - coords[j]).max() >= 5
+
+    def test_deterministic(self, trained):
+        clf, vol = trained
+        a = suggest_paint_locations(clf, vol, n=4, seed=2)
+        b = suggest_paint_locations(clf, vol, n=4, seed=2)
+        assert np.array_equal(a, b)
+
+
+class TestSelectFeatureAt:
+    def test_click_selects_connected_feature(self, cosmology_small):
+        from repro.interface.session import select_feature_at
+        from repro.core import DataSpaceClassifier, ShellFeatureExtractor
+        import numpy as np
+
+        vol = cosmology_small.at_time(310)
+        rng = np.random.default_rng(0)
+        clf = DataSpaceClassifier(ShellFeatureExtractor(radius=2), seed=3)
+        large = vol.mask("large")
+        coords = np.argwhere(large)
+        sel = coords[rng.choice(len(coords), size=80, replace=False)]
+        pos = np.zeros(vol.shape, dtype=bool)
+        pos[tuple(sel.T)] = True
+        bg = np.argwhere(~large)
+        selb = bg[rng.choice(len(bg), size=80, replace=False)]
+        neg = np.zeros(vol.shape, dtype=bool)
+        neg[tuple(selb.T)] = True
+        clf.add_examples(vol, positive_mask=pos, negative_mask=neg)
+        clf.train(epochs=200)
+
+        cert = clf.classify(vol)
+        inside = np.argwhere((cert > 0.5) & large)
+        click = tuple(int(c) for c in inside[len(inside) // 2])
+        selected = select_feature_at(clf, vol, click)
+        assert selected[click]
+        assert selected.sum() > 10
+        # the selection is one connected component of the criterion
+        from repro.segmentation import label_components
+
+        labels, _ = label_components(cert > 0.5)
+        assert len(np.unique(labels[selected])) == 1
+
+    def test_click_on_background_selects_nothing(self, cosmology_small):
+        from repro.interface.session import select_feature_at
+        from repro.core import DataSpaceClassifier, ShellFeatureExtractor
+        import numpy as np
+
+        vol = cosmology_small.at_time(310)
+        clf = DataSpaceClassifier(ShellFeatureExtractor(radius=2), seed=3)
+        large = vol.mask("large")
+        pos = np.zeros(vol.shape, dtype=bool)
+        pos[tuple(np.argwhere(large)[:30].T)] = True
+        neg = np.zeros(vol.shape, dtype=bool)
+        neg[tuple(np.argwhere(~large)[:3000:100].T)] = True
+        clf.add_examples(vol, positive_mask=pos, negative_mask=neg)
+        clf.train(epochs=100)
+        cert = clf.classify(vol)
+        outside = np.argwhere(cert <= 0.5)
+        click = tuple(int(c) for c in outside[0])
+        assert not select_feature_at(clf, vol, click).any()

@@ -1,0 +1,119 @@
+"""Tests for repro.core.svm: the SMO support vector machine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.svm import SupportVectorMachine
+
+
+def circle_problem(n=250, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 2))
+    y = ((X[:, 0] - 0.5) ** 2 + (X[:, 1] - 0.5) ** 2 < 0.09).astype(float)
+    return X, y
+
+
+def linear_problem(n=200, seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 2))
+    y = (X[:, 0] + X[:, 1] > 1.0).astype(float)
+    return X, y
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupportVectorMachine(C=0.0)
+        with pytest.raises(ValueError):
+            SupportVectorMachine(kernel="poly")
+        with pytest.raises(ValueError):
+            SupportVectorMachine(gamma=-1.0)
+
+    def test_not_fitted_errors(self):
+        svm = SupportVectorMachine()
+        assert not svm.is_fitted
+        assert svm.n_support == 0
+        with pytest.raises(RuntimeError):
+            svm.predict(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError):
+            svm.decision_function(np.zeros((1, 2)))
+
+
+class TestFit:
+    def test_rbf_learns_circle(self):
+        X, y = circle_problem()
+        svm = SupportVectorMachine(C=5.0, seed=1).fit(X, y)
+        acc = ((svm.predict(X) > 0.5) == (y > 0.5)).mean()
+        assert acc > 0.95
+
+    def test_linear_kernel_on_separable(self):
+        X, y = linear_problem()
+        svm = SupportVectorMachine(C=1.0, kernel="linear", seed=1).fit(X, y)
+        acc = ((svm.predict(X) > 0.5) == (y > 0.5)).mean()
+        assert acc > 0.95
+
+    def test_sparse_support_vectors(self):
+        X, y = linear_problem()
+        svm = SupportVectorMachine(C=1.0, kernel="linear", seed=1).fit(X, y)
+        assert 0 < svm.n_support < len(X)
+
+    def test_single_class_rejected(self):
+        X = np.random.default_rng(0).random((10, 2))
+        with pytest.raises(ValueError, match="both classes"):
+            SupportVectorMachine().fit(X, np.ones(10))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SupportVectorMachine().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_deterministic(self):
+        X, y = circle_problem(120)
+        a = SupportVectorMachine(seed=7).fit(X, y).predict(X)
+        b = SupportVectorMachine(seed=7).fit(X, y).predict(X)
+        assert np.allclose(a, b)
+
+    def test_gamma_override(self):
+        X, y = circle_problem(120)
+        svm = SupportVectorMachine(gamma=5.0, seed=0).fit(X, y)
+        assert svm._gamma_value == 5.0
+
+
+class TestPredict:
+    def test_certainty_in_unit_interval(self):
+        X, y = circle_problem(150)
+        svm = SupportVectorMachine(seed=0).fit(X, y)
+        out = svm.predict(np.random.default_rng(1).normal(size=(60, 2)) * 5)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_platt_orientation(self):
+        """Higher decision value must mean higher certainty."""
+        X, y = linear_problem()
+        svm = SupportVectorMachine(kernel="linear", seed=0).fit(X, y)
+        probe = np.array([[0.9, 0.9], [0.1, 0.1]])
+        p = svm.predict(probe)
+        assert p[0] > 0.5 > p[1]
+
+    def test_chunked_predict_matches(self):
+        X, y = circle_problem(150)
+        svm = SupportVectorMachine(seed=0).fit(X, y)
+        assert np.allclose(svm.predict(X), svm.predict(X, chunk=13))
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=8, deadline=None)
+    def test_certainty_bounds_property(self, seed):
+        X, y = linear_problem(80, seed=seed)
+        if y.all() or not y.any():
+            return
+        svm = SupportVectorMachine(kernel="linear", seed=seed).fit(X, y)
+        out = svm.predict(np.random.default_rng(seed).normal(size=(30, 2)) * 10)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_scaling_invariance(self):
+        """Standardization makes the fit robust to feature scales."""
+        X, y = circle_problem(150)
+        Xscaled = X * np.array([1000.0, 0.001])
+        svm = SupportVectorMachine(C=5.0, seed=1).fit(Xscaled, y)
+        acc = ((svm.predict(Xscaled) > 0.5) == (y > 0.5)).mean()
+        assert acc > 0.9

@@ -1,0 +1,200 @@
+"""Tests for repro.transfer: colormaps and 1D transfer functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transfer import (
+    Colormap,
+    TransferFunction1D,
+    default_flow_colormap,
+    grayscale_colormap,
+    interpolate_transfer_functions,
+)
+from repro.volume import Volume
+
+
+class TestColormap:
+    def test_endpoint_colors(self):
+        cm = grayscale_colormap()
+        assert np.allclose(cm(0.0), [0, 0, 0])
+        assert np.allclose(cm(1.0), [1, 1, 1])
+
+    def test_midpoint_interpolates(self):
+        cm = grayscale_colormap()
+        assert np.allclose(cm(0.5), [0.5, 0.5, 0.5])
+
+    def test_clips_out_of_range(self):
+        cm = grayscale_colormap()
+        assert np.allclose(cm(-2.0), [0, 0, 0])
+        assert np.allclose(cm(3.0), [1, 1, 1])
+
+    def test_array_input_shape(self):
+        cm = default_flow_colormap()
+        out = cm(np.zeros((4, 5)))
+        assert out.shape == (4, 5, 3)
+
+    def test_table(self):
+        table = default_flow_colormap().table(64)
+        assert table.shape == (64, 3)
+        assert table.min() >= 0 and table.max() <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Colormap([0.0, 0.5], [(0, 0, 0), (1, 1, 1)])  # must end at 1
+        with pytest.raises(ValueError):
+            Colormap([0.0, 1.0], [(0, 0, 0)])  # color count mismatch
+        with pytest.raises(ValueError):
+            Colormap([0.0, 0.0, 1.0], [(0,) * 3] * 3)  # non-increasing
+        with pytest.raises(ValueError):
+            Colormap([0.0, 1.0], [(0, 0, 0), (2, 0, 0)])  # out-of-range color
+
+    def test_immutable(self):
+        cm = grayscale_colormap()
+        with pytest.raises((ValueError, RuntimeError)):
+            cm._colors[0, 0] = 0.5
+
+
+class TestTransferFunction1D:
+    def test_default_transparent(self):
+        tf = TransferFunction1D((0.0, 1.0))
+        assert np.all(tf.opacity == 0.0)
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            TransferFunction1D((1.0, 1.0))
+        with pytest.raises(ValueError):
+            TransferFunction1D((0.0, 1.0), entries=1)
+
+    def test_opacity_validation(self):
+        with pytest.raises(ValueError):
+            TransferFunction1D((0, 1), entries=4, opacity=[0, 0.5, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            TransferFunction1D((0, 1), entries=4, opacity=[0, 0.5])
+
+    def test_add_tent_peak_at_center(self):
+        tf = TransferFunction1D((0.0, 1.0)).add_tent(0.5, 0.2, peak=0.8)
+        assert tf.opacity_at([0.5])[0] == pytest.approx(0.8, abs=0.02)
+        assert tf.opacity_at([0.0])[0] == 0.0
+        assert tf.opacity_at([0.9])[0] == 0.0
+
+    def test_tent_max_composition(self):
+        tf = TransferFunction1D((0.0, 1.0))
+        tf.add_tent(0.5, 0.4, peak=0.3).add_tent(0.5, 0.4, peak=0.9)
+        assert tf.opacity_at([0.5])[0] == pytest.approx(0.9, abs=0.02)
+
+    def test_add_box(self):
+        tf = TransferFunction1D((0.0, 1.0)).add_box(0.2, 0.4, opacity=0.6)
+        assert tf.opacity_at([0.3])[0] == pytest.approx(0.6)
+        assert tf.opacity_at([0.5])[0] == 0.0
+
+    def test_primitive_validation(self):
+        tf = TransferFunction1D((0.0, 1.0))
+        with pytest.raises(ValueError):
+            tf.add_tent(0.5, 0.0)
+        with pytest.raises(ValueError):
+            tf.add_tent(0.5, 0.1, peak=1.5)
+        with pytest.raises(ValueError):
+            tf.add_box(0.5, 0.4)
+
+    def test_clear(self):
+        tf = TransferFunction1D((0.0, 1.0)).add_box(0.0, 1.0, 1.0).clear()
+        assert np.all(tf.opacity == 0.0)
+
+    def test_entry_values_centered(self):
+        tf = TransferFunction1D((0.0, 1.0), entries=4)
+        assert np.allclose(tf.entry_values(), [0.125, 0.375, 0.625, 0.875])
+
+    def test_indices_clip(self):
+        tf = TransferFunction1D((0.0, 1.0), entries=16)
+        assert tf.indices_of([-5.0])[0] == 0
+        assert tf.indices_of([5.0])[0] == 15
+
+    def test_apply_rgba_shape(self):
+        tf = TransferFunction1D((0.0, 1.0)).add_box(0.0, 1.0, 0.5)
+        vol = Volume(np.random.default_rng(0).random((3, 4, 5)))
+        rgba = tf.apply(vol)
+        assert rgba.shape == (3, 4, 5, 4)
+        assert np.allclose(rgba[..., 3], 0.5)
+
+    def test_opacity_mask(self):
+        tf = TransferFunction1D((0.0, 1.0)).add_box(0.5, 1.0, 1.0)
+        data = np.array([[[0.2, 0.7]]])
+        mask = tf.opacity_mask(data)
+        assert mask.tolist() == [[[False, True]]]
+
+    def test_serialization_roundtrip(self):
+        tf = TransferFunction1D((0.0, 2.0), entries=32).add_tent(1.0, 0.5, 0.7)
+        back = TransferFunction1D.from_dict(tf.to_dict())
+        assert np.allclose(back.opacity, tf.opacity)
+        assert (back.lo, back.hi, back.entries) == (0.0, 2.0, 32)
+
+    def test_copy_independent(self):
+        tf = TransferFunction1D((0.0, 1.0)).add_box(0.0, 1.0, 1.0)
+        c = tf.copy()
+        c.clear()
+        assert tf.opacity.max() == 1.0
+
+
+class TestInterpolation:
+    def make_pair(self):
+        a = TransferFunction1D((0.0, 1.0)).add_tent(0.2, 0.2, 1.0)
+        b = TransferFunction1D((0.0, 1.0)).add_tent(0.8, 0.2, 1.0)
+        return a, b
+
+    def test_endpoints(self):
+        a, b = self.make_pair()
+        assert np.allclose(interpolate_transfer_functions(a, b, 0.0).opacity, a.opacity)
+        assert np.allclose(interpolate_transfer_functions(a, b, 1.0).opacity, b.opacity)
+
+    @given(alpha=st.floats(0.0, 1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_blend_bounded_property(self, alpha):
+        a, b = self.make_pair()
+        mid = interpolate_transfer_functions(a, b, alpha)
+        upper = np.maximum(a.opacity, b.opacity)
+        assert np.all(mid.opacity <= upper + 1e-12)
+        assert np.all(mid.opacity >= 0.0)
+
+    def test_fig3_failure_mode(self):
+        """Linear interpolation produces two weakened ghost peaks rather
+        than one moved peak — the paper's Fig. 3 observation."""
+        a, b = self.make_pair()
+        mid = interpolate_transfer_functions(a, b, 0.5)
+        # ghosts at both key-frame positions, at half strength
+        assert mid.opacity_at([0.2])[0] == pytest.approx(0.5, abs=0.05)
+        assert mid.opacity_at([0.8])[0] == pytest.approx(0.5, abs=0.05)
+        # nothing where the true (moved) feature would be
+        assert mid.opacity_at([0.5])[0] == 0.0
+
+    def test_mismatched_domains_rejected(self):
+        a = TransferFunction1D((0.0, 1.0))
+        b = TransferFunction1D((0.0, 2.0))
+        with pytest.raises(ValueError):
+            interpolate_transfer_functions(a, b, 0.5)
+
+    def test_alpha_validated(self):
+        a, b = self.make_pair()
+        with pytest.raises(ValueError):
+            interpolate_transfer_functions(a, b, 1.5)
+
+
+class TestThresholded:
+    def test_floors_small_opacities(self):
+        import numpy as np
+
+        tf = TransferFunction1D((0.0, 1.0)).add_tent(0.5, 0.5, 1.0)
+        floored = tf.thresholded(0.3)
+        assert floored.opacity[floored.opacity > 0].min() >= 0.3
+        assert floored.opacity.max() == tf.opacity.max()
+
+    def test_original_untouched(self):
+        tf = TransferFunction1D((0.0, 1.0)).add_box(0.0, 1.0, 0.05)
+        _ = tf.thresholded(0.1)
+        assert tf.opacity.max() == 0.05
+
+    def test_validation(self):
+        tf = TransferFunction1D((0.0, 1.0))
+        with pytest.raises(ValueError):
+            tf.thresholded(1.5)

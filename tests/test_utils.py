@@ -1,0 +1,149 @@
+"""Tests for repro.utils: rng plumbing, timing, validation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Stopwatch,
+    Timer,
+    as_generator,
+    check_finite,
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_shape3d,
+    check_volume_array,
+    format_seconds,
+    spawn_generators,
+)
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough_identity(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(8), as_generator(2).random(8))
+
+
+class TestSpawnGenerators:
+    def test_children_are_independent(self):
+        kids = spawn_generators(7, 3)
+        draws = [k.random(4) for k in kids]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_across_calls(self):
+        a = [g.random(3) for g in spawn_generators(9, 2)]
+        b = [g.random(3) for g in spawn_generators(9, 2)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_zero_children(self):
+        assert spawn_generators(1, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
+
+
+class TestTimer:
+    def test_measures_positive_interval(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_fps_inverse(self):
+        t = Timer(elapsed=0.5)
+        assert t.fps == pytest.approx(2.0)
+
+    def test_fps_zero_elapsed(self):
+        assert Timer(elapsed=0.0).fps == float("inf")
+
+
+class TestStopwatch:
+    def test_accumulates_laps(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw.lap("work"):
+                pass
+        assert sw.count("work") == 3
+        assert sw.total("work") >= 0.0
+        assert sw.mean("work") == pytest.approx(sw.total("work") / 3)
+
+    def test_unknown_lap_is_zero(self):
+        sw = Stopwatch()
+        assert sw.total("nope") == 0.0
+        assert sw.count("nope") == 0
+        assert sw.mean("nope") == 0.0
+
+    def test_report_mentions_names(self):
+        sw = Stopwatch()
+        with sw.lap("render"):
+            pass
+        assert "render" in sw.report()
+        assert "render" in sw.names()
+
+
+class TestFormatSeconds:
+    def test_scales(self):
+        assert format_seconds(2e-6).endswith("us")
+        assert format_seconds(5e-3).endswith("ms")
+        assert format_seconds(3.0).endswith("s")
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 2.0) == 2.0
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_check_fraction(self):
+        assert check_fraction("f", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0)
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.5)
+
+    def test_check_probability_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability("p", -0.1)
+
+    def test_check_shape3d(self):
+        assert check_shape3d("s", (2, 3, 4)) == (2, 3, 4)
+        with pytest.raises(ValueError):
+            check_shape3d("s", (2, 3))
+        with pytest.raises(ValueError):
+            check_shape3d("s", (2, 0, 4))
+
+    def test_check_volume_array_converts(self):
+        out = check_volume_array("v", np.ones((2, 2, 2), dtype=np.float64))
+        assert out.dtype == np.float32
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_check_volume_array_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_volume_array("v", np.ones((3, 3)))
+
+    def test_check_volume_array_rejects_nonnumeric(self):
+        with pytest.raises(TypeError):
+            check_volume_array("v", np.full((2, 2, 2), "x"))
+
+    def test_check_finite(self):
+        arr = np.ones(3)
+        assert check_finite("a", arr) is arr
+        with pytest.raises(ValueError):
+            check_finite("a", np.array([1.0, np.nan]))

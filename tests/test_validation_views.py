@@ -1,0 +1,117 @@
+"""Tests for repro.render.validation: visual validation (Sec. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.render.validation import (
+    AGREE_COLOR,
+    MISSED_COLOR,
+    SPURIOUS_COLOR,
+    agreement_overlay,
+    agreement_report,
+    tracking_agreement,
+)
+from repro.volume import Volume
+
+
+def masks_pair(shape=(6, 6, 6)):
+    predicted = np.zeros(shape, dtype=bool)
+    reference = np.zeros(shape, dtype=bool)
+    predicted[1:4] = True  # 3 slabs
+    reference[2:5] = True  # 3 slabs, 2 shared
+    return predicted, reference
+
+
+class TestAgreementReport:
+    def test_counts(self):
+        p, r = masks_pair()
+        rep = agreement_report(p, r)
+        assert rep.both == 2 * 36
+        assert rep.prediction_only == 36
+        assert rep.reference_only == 36
+        assert rep.total == 6**3
+
+    def test_rates(self):
+        p, r = masks_pair()
+        rep = agreement_report(p, r)
+        assert rep.jaccard == pytest.approx(2 / 4)
+        assert rep.spurious_rate == pytest.approx(1 / 3)
+        assert rep.missed_rate == pytest.approx(1 / 3)
+
+    def test_perfect_agreement(self):
+        p, _ = masks_pair()
+        rep = agreement_report(p, p)
+        assert rep.jaccard == 1.0
+        assert rep.spurious_rate == 0.0
+        assert rep.missed_rate == 0.0
+
+    def test_empty_masks(self):
+        e = np.zeros((3, 3, 3), dtype=bool)
+        rep = agreement_report(e, e)
+        assert rep.jaccard == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            agreement_report(np.zeros((2, 2, 2), bool), np.zeros((3, 3, 3), bool))
+
+
+class TestAgreementOverlay:
+    def test_colors_appear(self):
+        p, r = masks_pair()
+        vol = Volume(np.zeros((6, 6, 6), dtype=np.float32))
+        img = agreement_overlay(vol, p, r, axis=2, index=3, strength=1.0)
+        rgb = img.pixels[..., :3]
+        for color in (AGREE_COLOR, SPURIOUS_COLOR, MISSED_COLOR):
+            target = np.asarray(color, dtype=np.float32)
+            assert (np.abs(rgb - target).sum(axis=-1) < 0.05).any(), color
+
+    def test_agree_rows_green(self):
+        p, r = masks_pair()
+        vol = Volume(np.zeros((6, 6, 6), dtype=np.float32))
+        img = agreement_overlay(vol, p, r, axis=2, index=0, strength=1.0)
+        # rows 2-3 (z) are in both masks -> green
+        assert np.allclose(img.pixels[2, 0, :3], AGREE_COLOR, atol=0.01)
+        # row 1 prediction-only -> red
+        assert np.allclose(img.pixels[1, 0, :3], SPURIOUS_COLOR, atol=0.01)
+        # row 4 reference-only -> blue
+        assert np.allclose(img.pixels[4, 0, :3], MISSED_COLOR, atol=0.01)
+
+    def test_validation(self):
+        vol = Volume(np.zeros((4, 4, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            agreement_overlay(vol, np.zeros((2, 2, 2), bool),
+                              np.zeros((4, 4, 4), bool), 0, 0)
+        with pytest.raises(ValueError):
+            agreement_overlay(vol, np.zeros((4, 4, 4), bool),
+                              np.zeros((4, 4, 4), bool), 0, 0, strength=2.0)
+
+
+class TestTrackingAgreement:
+    def test_per_step_jaccard(self, vortex_small):
+        from repro.core import FeatureTracker
+        from repro.segmentation.prediction import PredictionVerificationTracker
+
+        criteria = np.stack([v.data > 0.5 for v in vortex_small])
+        coords = np.argwhere(vortex_small[0].mask("vortex"))
+        seed3 = tuple(int(c) for c in coords[len(coords) // 2])
+        rg = FeatureTracker().track_fixed(vortex_small, (0, *seed3), 0.5, 10.0)
+        pv = PredictionVerificationTracker(max_distance=10.0).track(
+            vortex_small, criteria, seed3)
+        curve = tracking_agreement(rg, pv)
+        assert len(curve) == len(vortex_small)
+        # both methods track the same vortex until the split; at the split
+        # region growing keeps both children while prediction keeps one.
+        assert curve[0][1] > 0.9
+        assert curve[-1][1] < 0.9
+
+    def test_mismatched_steps_rejected(self):
+        class R:
+            times = [1, 2]
+            masks = np.zeros((2, 2, 2, 2), dtype=bool)
+
+        class S:
+            times = [1, 3]
+            masks = np.zeros((2, 2, 2, 2), dtype=bool)
+
+        with pytest.raises(ValueError):
+            tracking_agreement(R(), S())

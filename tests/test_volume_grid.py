@@ -1,0 +1,141 @@
+"""Tests for repro.volume.grid: Volume and VolumeSequence containers."""
+
+import numpy as np
+import pytest
+
+from repro.volume import Volume, VolumeSequence
+
+
+def make_vol(value=0.0, shape=(4, 5, 6), time=0, **masks):
+    data = np.full(shape, value, dtype=np.float32)
+    return Volume(data, time=time, masks=masks)
+
+
+class TestVolume:
+    def test_converts_to_float32_contiguous(self):
+        v = Volume(np.arange(24, dtype=np.int64).reshape(2, 3, 4))
+        assert v.data.dtype == np.float32
+        assert v.data.flags["C_CONTIGUOUS"]
+
+    def test_shape_and_size(self):
+        v = make_vol(shape=(3, 4, 5))
+        assert v.shape == (3, 4, 5)
+        assert v.size == 60
+
+    def test_value_range(self):
+        data = np.zeros((2, 2, 2), dtype=np.float32)
+        data[0, 0, 0] = -1.5
+        data[1, 1, 1] = 2.5
+        v = Volume(data)
+        assert v.value_range == (-1.5, 2.5)
+
+    def test_mask_shape_validated(self):
+        with pytest.raises(ValueError, match="mask"):
+            Volume(np.zeros((2, 2, 2)), masks={"m": np.zeros((3, 3, 3), dtype=bool)})
+
+    def test_mask_lookup_and_missing(self):
+        m = np.zeros((2, 2, 2), dtype=bool)
+        m[0, 0, 0] = True
+        v = Volume(np.zeros((2, 2, 2)), masks={"ring": m})
+        assert v.mask("ring").sum() == 1
+        with pytest.raises(KeyError, match="ring"):
+            v.mask("other")
+
+    def test_mask_cast_to_bool(self):
+        v = Volume(np.zeros((2, 2, 2)), masks={"m": np.ones((2, 2, 2), dtype=np.uint8)})
+        assert v.mask("m").dtype == bool
+
+    def test_normalized_default_range(self):
+        data = np.linspace(2.0, 4.0, 8).reshape(2, 2, 2)
+        nv = Volume(data).normalized()
+        assert nv.value_range == (0.0, 1.0)
+
+    def test_normalized_shared_range_clips(self):
+        data = np.linspace(0.0, 10.0, 8).reshape(2, 2, 2)
+        nv = Volume(data).normalized(lo=5.0, hi=20.0)
+        assert nv.data.min() == 0.0
+        assert nv.data.max() < 1.0
+
+    def test_normalized_constant_volume(self):
+        nv = make_vol(3.0).normalized()
+        assert np.all(nv.data == 0.0)
+
+    def test_slice_plane_is_view(self):
+        v = make_vol(0.0)
+        plane = v.slice_plane(0, 1)
+        plane[...] = 7.0
+        assert np.all(v.data[1] == 7.0)
+
+    def test_slice_plane_shapes(self):
+        v = make_vol(shape=(4, 5, 6))
+        assert v.slice_plane(0, 0).shape == (5, 6)
+        assert v.slice_plane(1, 0).shape == (4, 6)
+        assert v.slice_plane(2, 0).shape == (4, 5)
+
+    def test_slice_plane_bounds(self):
+        v = make_vol(shape=(4, 5, 6))
+        with pytest.raises(IndexError):
+            v.slice_plane(0, 4)
+        with pytest.raises(ValueError):
+            v.slice_plane(3, 0)
+
+    def test_copy_is_deep(self):
+        v = make_vol(1.0, m=np.ones((4, 5, 6), dtype=bool))
+        c = v.copy()
+        c.data[...] = 9.0
+        c.mask("m")[...] = False
+        assert np.all(v.data == 1.0)
+        assert v.mask("m").all()
+
+
+class TestVolumeSequence:
+    def test_requires_volumes(self):
+        with pytest.raises(ValueError):
+            VolumeSequence([])
+
+    def test_rejects_mixed_shapes(self):
+        with pytest.raises(ValueError, match="share a grid"):
+            VolumeSequence([make_vol(shape=(2, 2, 2), time=0), make_vol(shape=(3, 3, 3), time=1)])
+
+    def test_rejects_duplicate_times(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            VolumeSequence([make_vol(time=5), make_vol(time=5)])
+
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(ValueError, match="increasing"):
+            VolumeSequence([make_vol(time=5), make_vol(time=3)])
+
+    def test_rejects_non_volume(self):
+        with pytest.raises(TypeError):
+            VolumeSequence([np.zeros((2, 2, 2))])
+
+    def test_indexing_and_iteration(self):
+        seq = VolumeSequence([make_vol(time=1), make_vol(time=2)])
+        assert len(seq) == 2
+        assert seq[0].time == 1
+        assert [v.time for v in seq] == [1, 2]
+
+    def test_at_time_vs_positional(self):
+        seq = VolumeSequence([make_vol(time=195), make_vol(time=225)])
+        assert seq.at_time(225) is seq[1]
+        assert seq.index_of_time(195) == 0
+        with pytest.raises(KeyError):
+            seq.at_time(200)
+        with pytest.raises(KeyError):
+            seq.index_of_time(200)
+
+    def test_global_value_range(self):
+        a = Volume(np.full((2, 2, 2), -1.0), time=0)
+        b = Volume(np.full((2, 2, 2), 3.0), time=1)
+        assert VolumeSequence([a, b]).value_range == (-1.0, 3.0)
+
+    def test_subsequence(self):
+        seq = VolumeSequence([make_vol(time=t) for t in (1, 2, 3)])
+        sub = seq.subsequence([1, 3])
+        assert sub.times == [1, 3]
+
+    def test_as_array_stacks(self):
+        seq = VolumeSequence([make_vol(1.0, time=0), make_vol(2.0, time=1)])
+        arr = seq.as_array()
+        assert arr.shape == (2, 4, 5, 6)
+        assert np.all(arr[1] == 2.0)

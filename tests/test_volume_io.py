@@ -1,0 +1,81 @@
+"""Tests for repro.volume.io: raw-brick format roundtrips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.volume import Volume, VolumeSequence, load_sequence, load_volume, save_sequence, save_volume
+
+
+def sample_volume(time=3):
+    rng = np.random.default_rng(time)
+    data = rng.random((4, 5, 6)).astype(np.float32)
+    mask = data > 0.5
+    return Volume(data, time=time, name="sample", masks={"hot": mask})
+
+
+class TestVolumeRoundtrip:
+    def test_roundtrip_exact(self, tmp_path):
+        vol = sample_volume()
+        save_volume(vol, tmp_path / "step")
+        back = load_volume(tmp_path / "step")
+        assert np.array_equal(back.data, vol.data)
+        assert back.time == vol.time
+        assert back.name == vol.name
+        assert np.array_equal(back.mask("hot"), vol.mask("hot"))
+
+    def test_mmap_load_matches(self, tmp_path):
+        vol = sample_volume()
+        save_volume(vol, tmp_path / "step")
+        back = load_volume(tmp_path / "step", mmap=True)
+        assert np.array_equal(back.data, vol.data)
+
+    def test_metadata_is_json(self, tmp_path):
+        save_volume(sample_volume(), tmp_path / "step")
+        meta = json.loads((tmp_path / "step.json").read_text())
+        assert meta["shape"] == [4, 5, 6]
+        assert meta["masks"] == ["hot"]
+
+    def test_bad_format_version_rejected(self, tmp_path):
+        save_volume(sample_volume(), tmp_path / "step")
+        meta = json.loads((tmp_path / "step.json").read_text())
+        meta["format_version"] = 99
+        (tmp_path / "step.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="version"):
+            load_volume(tmp_path / "step")
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_volume(sample_volume(), tmp_path / "a" / "b" / "step")
+        assert path.exists()
+
+
+class TestSequenceRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        seq = VolumeSequence([sample_volume(t) for t in (1, 2, 3)], name="seq")
+        save_sequence(seq, tmp_path / "run")
+        back = load_sequence(tmp_path / "run")
+        assert back.times == [1, 2, 3]
+        assert back.name == "seq"
+        for a, b in zip(seq, back):
+            assert np.array_equal(a.data, b.data)
+
+    def test_partial_load_by_times(self, tmp_path):
+        """The out-of-core key-frame pattern: read only requested bricks."""
+        seq = VolumeSequence([sample_volume(t) for t in (1, 2, 3, 4)])
+        save_sequence(seq, tmp_path / "run")
+        back = load_sequence(tmp_path / "run", times=[2, 4])
+        assert back.times == [2, 4]
+
+    def test_missing_time_raises(self, tmp_path):
+        seq = VolumeSequence([sample_volume(t) for t in (1, 2)])
+        save_sequence(seq, tmp_path / "run")
+        with pytest.raises(KeyError, match="9"):
+            load_sequence(tmp_path / "run", times=[1, 9])
+
+    def test_manifest_contents(self, tmp_path):
+        seq = VolumeSequence([sample_volume(t) for t in (5, 7)])
+        save_sequence(seq, tmp_path / "run")
+        manifest = json.loads((tmp_path / "run" / "sequence.json").read_text())
+        assert manifest["times"] == [5, 7]
+        assert len(manifest["steps"]) == 2
