@@ -28,8 +28,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.iatf import AdaptiveTransferFunction
-from repro.core.pipeline import generate_sequence_tfs
+from repro.core.pipeline import generate_sequence_tfs, render_sequence
 from repro.core.tracking import FeatureTracker
+from repro.obs import get_metrics
 from repro.data import (
     make_argon_sequence,
     make_combustion_sequence,
@@ -39,7 +40,6 @@ from repro.data import (
 )
 from repro.metrics import feature_retention
 from repro.render.camera import Camera
-from repro.render.raycast import render_volume
 from repro.transfer.tf1d import TransferFunction1D
 from repro.volume.io import load_sequence, save_sequence
 
@@ -128,16 +128,21 @@ def cmd_apply_iatf(args) -> int:
     sequence = load_sequence(args.seqdir)
     iatf = AdaptiveTransferFunction.from_dict(json.loads(Path(args.iatf).read_text()))
     backend = "process" if args.workers > 1 else "serial"
-    tfs = generate_sequence_tfs(iatf, sequence, workers=args.workers, backend=backend)
+    tfs = generate_sequence_tfs(iatf, sequence, workers=args.workers, backend=backend,
+                                retry=args.retries, on_error=args.on_error)
     print(f"{'step':>6} {'max opacity':>12}" + (f" {'retention':>10}" if args.mask else ""))
     for vol, tf in zip(sequence, tfs):
+        if tf is None:
+            print(f"{vol.time:>6} {'FAILED':>12}")
+            continue
         line = f"{vol.time:>6} {tf.opacity.max():>12.3f}"
         if args.mask:
             ret = feature_retention(tf.opacity_at(vol.data), vol.mask(args.mask))
             line += f" {ret:>10.3f}"
         print(line)
     if args.out:
-        payload = {str(vol.time): tf.to_dict() for vol, tf in zip(sequence, tfs)}
+        payload = {str(vol.time): tf.to_dict()
+                   for vol, tf in zip(sequence, tfs) if tf is not None}
         Path(args.out).parent.mkdir(parents=True, exist_ok=True)
         Path(args.out).write_text(json.dumps(payload))
         print(f"per-step TFs saved to {args.out}")
@@ -159,9 +164,16 @@ def cmd_render(args) -> int:
         static = TransferFunction1D(domain).add_box(lo, hi, args.opacity)
         tf_for = lambda vol: static  # noqa: E731
     outdir = Path(args.out)
-    for vol in sequence:
-        image = render_volume(vol, tf_for(vol), camera=camera,
-                              shading=not args.no_shading)
+    backend = "process" if args.workers > 1 else "serial"
+    images = render_sequence(
+        sequence, [tf_for(vol) for vol in sequence], camera=camera,
+        shading=not args.no_shading, workers=args.workers, backend=backend,
+        transport=args.transport, retry=args.retries, on_error=args.on_error,
+    )
+    for vol, image in zip(sequence, images):
+        if image is None:
+            print(f"step {vol.time}: FAILED (skipped)")
+            continue
         path = image.save_ppm(outdir / f"frame_{vol.time:06d}.ppm")
         print(f"step {vol.time}: coverage {image.coverage():.3f} -> {path}")
     return 0
@@ -196,11 +208,23 @@ def cmd_track(args) -> int:
 # --------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------- #
+def _add_farm_options(p) -> None:
+    """Task-farm fault-tolerance flags shared by the fan-out subcommands."""
+    p.add_argument("--retries", type=int, default=0,
+                   help="per-step retry budget (exponential backoff)")
+    p.add_argument("--on-error", choices=["raise", "skip"], default="raise",
+                   help="'skip' degrades gracefully: failed steps are "
+                        "reported and omitted instead of aborting the run")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
         prog="repro", description="Intelligent feature extraction & tracking (SC'05 reproduction)"
     )
+    parser.add_argument("--obs-sink", metavar="PATH",
+                        help="append JSON-lines trace spans (task farm, "
+                             "pipeline, renderer) to this file")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate", help="build a synthetic dataset")
@@ -233,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mask", help="score retention against this mask")
     p.add_argument("--out", help="save per-step TFs as json")
     p.add_argument("--workers", type=int, default=1)
+    _add_farm_options(p)
     p.set_defaults(func=cmd_apply_iatf)
 
     p = sub.add_parser("render", help="render a sequence to PPM frames")
@@ -245,6 +270,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--azimuth", type=float, default=30.0)
     p.add_argument("--elevation", type=float, default=20.0)
     p.add_argument("--no-shading", action="store_true")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--transport", choices=["auto", "pickle", "shm"], default="auto",
+                   help="how volume payloads reach pool workers")
+    _add_farm_options(p)
     p.set_defaults(func=cmd_render)
 
     p = sub.add_parser("track", help="track a feature through a sequence")
@@ -262,6 +291,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.obs_sink:
+        get_metrics().configure_sink(args.obs_sink)
     return args.func(args)
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, spawn_generators
 
 
 class TrainingSet:
@@ -345,12 +345,16 @@ class NeuralNetwork:
             raise ValueError(f"keep indices must be in [0, {self.n_inputs}), got {keep}")
         if len(set(keep)) != len(keep):
             raise ValueError(f"duplicate indices in keep: {keep}")
+        # The child gets an *independent* generator spawned off the parent's
+        # seed sequence: passing self._rng itself would share the stream, so
+        # training the child would silently advance the parent's shuffle
+        # order and break determinism of any further parent training.
         net = NeuralNetwork(
             len(keep),
             n_hidden=self.n_hidden,
             learning_rate=self.learning_rate,
             momentum=self.momentum,
-            seed=self._rng,
+            seed=spawn_generators(self._rng, 1)[0],
         )
         net.w1 = self.w1[:, keep].copy()
         net.b1 = self.b1.copy()
@@ -376,17 +380,28 @@ class NeuralNetwork:
             "mean": None if self._mean is None else self._mean.tolist(),
             "std": None if self._std is None else self._std.tolist(),
             "epochs_trained": self.epochs_trained,
+            "rng_state": self._rng.bit_generator.state,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "NeuralNetwork":
-        """Inverse of :meth:`to_dict` (momentum state not preserved)."""
+        """Inverse of :meth:`to_dict` (momentum state not preserved).
+
+        The bit-generator state round-trips, so a save/load cycle does not
+        change subsequent shuffle order — incremental training resumes
+        exactly where the saved network would have continued.  (Payloads
+        from before ``rng_state`` existed still load, with a fresh
+        ``seed=0`` stream.)
+        """
         net = cls(
             payload["n_inputs"],
             n_hidden=payload["n_hidden"],
             learning_rate=payload["learning_rate"],
             momentum=payload["momentum"],
         )
+        rng_state = payload.get("rng_state")
+        if rng_state is not None:
+            net._rng.bit_generator.state = rng_state
         net.w1 = np.asarray(payload["w1"], dtype=np.float64)
         net.b1 = np.asarray(payload["b1"], dtype=np.float64)
         net.w2 = np.asarray(payload["w2"], dtype=np.float64)

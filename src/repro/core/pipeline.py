@@ -5,6 +5,15 @@ picklable, so a run over hundreds of steps fans out per time step:
 *"the processing of each time step is completely independent of other time
 steps"*.  These helpers wire the core engines to the
 :mod:`repro.parallel.executor` task farm and the renderer.
+
+Volume payload transport is selectable: ``transport="pickle"`` ships the
+whole ``Volume`` through the IPC pipe per task (simple, works
+everywhere); ``transport="shm"`` parks each step's voxels in
+:mod:`multiprocessing.shared_memory` once and ships only a tiny handle
+(:mod:`repro.parallel.shm`); ``"auto"`` picks shm whenever the map will
+actually fan out to processes.  Retry/timeout/degraded-mode behaviour
+forwards to the task farm (``retry=`` / ``on_error=``) — with
+``on_error="skip"`` a failed step's slot holds ``None``.
 """
 
 from __future__ import annotations
@@ -13,11 +22,28 @@ import numpy as np
 
 from repro.core.dataspace import DataSpaceClassifier
 from repro.core.iatf import AdaptiveTransferFunction
-from repro.parallel.executor import map_timesteps
+from repro.obs import get_metrics
+from repro.parallel.executor import map_timesteps, will_use_processes
+from repro.parallel.shm import HAS_SHARED_MEMORY, OpenSharedVolume, SharedVolumeArena
 from repro.render.camera import Camera
 from repro.render.raycast import render_volume
 from repro.transfer.tf1d import TransferFunction1D
 from repro.volume.grid import Volume, VolumeSequence
+
+_TRANSPORTS = ("auto", "pickle", "shm")
+
+
+def _use_shm(transport: str, backend: str, workers, n_items: int) -> bool:
+    if transport not in _TRANSPORTS:
+        raise ValueError(f"unknown transport {transport!r}; expected one of {_TRANSPORTS}")
+    if transport == "pickle":
+        return False
+    fan_out = will_use_processes(backend, workers, n_items)
+    if transport == "shm":
+        if not HAS_SHARED_MEMORY:
+            raise RuntimeError("transport='shm' requested but shared memory is unavailable")
+        return fan_out
+    return fan_out and HAS_SHARED_MEMORY
 
 
 def _classify_one(payload) -> np.ndarray:
@@ -25,16 +51,33 @@ def _classify_one(payload) -> np.ndarray:
     return classifier.classify(volume)
 
 
+def _classify_one_shm(payload) -> np.ndarray:
+    classifier, handle = payload
+    with OpenSharedVolume(handle) as volume:
+        return classifier.classify(volume)
+
+
 def classify_sequence(classifier: DataSpaceClassifier, sequence: VolumeSequence,
-                      workers: int | None = None, backend: str = "auto") -> list[np.ndarray]:
+                      workers: int | None = None, backend: str = "auto",
+                      transport: str = "auto", retry=None,
+                      on_error: str = "raise") -> list[np.ndarray]:
     """Classify every step of a sequence, optionally in parallel.
 
-    Ships ``(classifier, volume)`` pairs to workers — the classifier is a
-    few kilobytes of weights; each worker sees only its own step's voxels
-    (the cluster deployment pattern of Sec. 8).
+    The classifier is a few kilobytes of weights and rides in every task;
+    the voxels travel by ``transport`` — shared memory when the map fans
+    out (each worker sees only its own step, the cluster deployment
+    pattern of Sec. 8, without re-pickling the volume per task).
     """
-    payloads = [(classifier, vol) for vol in sequence]
-    outcome = map_timesteps(_classify_one, payloads, workers=workers, backend=backend)
+    with get_metrics().span("pipeline.classify_sequence", steps=len(sequence)):
+        if _use_shm(transport, backend, workers, len(sequence)):
+            with SharedVolumeArena() as arena:
+                payloads = [(classifier, arena.share(vol)) for vol in sequence]
+                outcome = map_timesteps(_classify_one_shm, payloads, workers=workers,
+                                        backend=backend, retry=retry, on_error=on_error)
+        else:
+            payloads = [(classifier, vol) for vol in sequence]
+            outcome = map_timesteps(_classify_one, payloads, workers=workers,
+                                    backend=backend, retry=retry, on_error=on_error)
     return outcome.results
 
 
@@ -44,15 +87,20 @@ def _generate_tf_one(payload) -> TransferFunction1D:
 
 
 def generate_sequence_tfs(iatf: AdaptiveTransferFunction, sequence: VolumeSequence,
-                          workers: int | None = None, backend: str = "auto"
+                          workers: int | None = None, backend: str = "auto",
+                          retry=None, on_error: str = "raise"
                           ) -> list[TransferFunction1D]:
     """Generate the adaptive TF for every step of a sequence.
 
     This is the "create an IATF … and send [it] to parallel systems or
-    remote machines for rendering" workflow of Sec. 4.2.3.
+    remote machines for rendering" workflow of Sec. 4.2.3.  (TF
+    generation reads only each step's histogram, so payloads stay on the
+    pickle path — the result, not the volume, dominates here.)
     """
-    payloads = [(iatf, vol) for vol in sequence]
-    outcome = map_timesteps(_generate_tf_one, payloads, workers=workers, backend=backend)
+    with get_metrics().span("pipeline.generate_sequence_tfs", steps=len(sequence)):
+        payloads = [(iatf, vol) for vol in sequence]
+        outcome = map_timesteps(_generate_tf_one, payloads, workers=workers,
+                                backend=backend, retry=retry, on_error=on_error)
     return outcome.results
 
 
@@ -61,14 +109,23 @@ def _render_one(payload):
     return render_volume(volume, tf, camera=camera, step=step, shading=shading)
 
 
+def _render_one_shm(payload):
+    handle, tf, camera, step, shading = payload
+    with OpenSharedVolume(handle) as volume:
+        return render_volume(volume, tf, camera=camera, step=step, shading=shading)
+
+
 def render_sequence(sequence: VolumeSequence, tfs, camera: Camera | None = None,
                     step: float = 1.0, shading: bool = True,
-                    workers: int | None = None, backend: str = "auto") -> list:
+                    workers: int | None = None, backend: str = "auto",
+                    transport: str = "auto", retry=None,
+                    on_error: str = "raise") -> list:
     """Render every step with its own transfer function.
 
     ``tfs`` is either one shared :class:`TransferFunction1D` or a list with
     one TF per step (the IATF output).  Returns one
-    :class:`~repro.render.image.Image` per step.
+    :class:`~repro.render.image.Image` per step (``None`` for steps
+    skipped under ``on_error="skip"``).
     """
     camera = camera or Camera()
     if isinstance(tfs, TransferFunction1D):
@@ -76,8 +133,18 @@ def render_sequence(sequence: VolumeSequence, tfs, camera: Camera | None = None,
     tfs = list(tfs)
     if len(tfs) != len(sequence):
         raise ValueError(f"need one TF per step: got {len(tfs)} TFs for {len(sequence)} steps")
-    payloads = [(vol, tf, camera, step, shading) for vol, tf in zip(sequence, tfs)]
-    outcome = map_timesteps(_render_one, payloads, workers=workers, backend=backend)
+    with get_metrics().span("pipeline.render_sequence", steps=len(sequence)):
+        if _use_shm(transport, backend, workers, len(sequence)):
+            with SharedVolumeArena() as arena:
+                payloads = [(arena.share(vol), tf, camera, step, shading)
+                            for vol, tf in zip(sequence, tfs)]
+                outcome = map_timesteps(_render_one_shm, payloads, workers=workers,
+                                        backend=backend, retry=retry, on_error=on_error)
+        else:
+            payloads = [(vol, tf, camera, step, shading)
+                        for vol, tf in zip(sequence, tfs)]
+            outcome = map_timesteps(_render_one, payloads, workers=workers,
+                                    backend=backend, retry=retry, on_error=on_error)
     return outcome.results
 
 

@@ -1,0 +1,18 @@
+"""Lightweight observability: counters, timers, trace spans, JSONL sink.
+
+See :mod:`repro.obs.metrics` for the design.  Typical use::
+
+    from repro.obs import get_metrics
+
+    metrics = get_metrics()
+    metrics.counter("executor.tasks").inc()
+    with metrics.span("classify_sequence", steps=len(sequence)):
+        ...
+
+Set ``REPRO_OBS_SINK=/path/trace.jsonl`` (or call
+``get_metrics().configure_sink(path)``) to stream span records to disk.
+"""
+
+from repro.obs.metrics import Counter, MetricsRegistry, TimerStat, get_metrics
+
+__all__ = ["Counter", "MetricsRegistry", "TimerStat", "get_metrics"]

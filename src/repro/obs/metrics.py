@@ -1,0 +1,200 @@
+"""Counters, timers, and trace spans with a JSON-lines sink.
+
+The task farm (and the hot paths it feeds — classification, streaming,
+ray casting) must expose its own performance: the ROADMAP's production
+story needs per-run evidence of where time goes, and the paper's cluster
+deployment (Sec. 8) only works if stragglers and failures are visible.
+This module is the repository's single observability substrate:
+
+- :class:`Counter` — monotonically increasing event count;
+- :class:`TimerStat` — accumulated duration statistics (total/count/
+  min/max/mean) for a named operation;
+- :meth:`MetricsRegistry.span` — a context manager that both feeds a
+  :class:`TimerStat` and, when a sink is configured, appends one JSON
+  line per span (name, wall-clock timestamp, duration, attributes) to an
+  append-only trace file.
+
+Everything is stdlib + threading only.  Configuration is explicit
+(:meth:`MetricsRegistry.configure_sink`) or environment driven
+(``REPRO_OBS_SINK=/path/to/trace.jsonl``); with no sink configured,
+spans cost one clock read on entry and exit and nothing is written.
+Writes open the sink in append mode per event so forked pool workers can
+share one trace file without inheriting file-handle offsets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+_SINK_ENV = "REPRO_OBS_SINK"
+
+
+@dataclass
+class Counter:
+    """A named monotonically increasing count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the count."""
+        if n < 0:
+            raise ValueError(f"counter increment must be >= 0, got {n}")
+        self.value += n
+
+
+@dataclass
+class TimerStat:
+    """Accumulated duration statistics for one named operation."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Fold one observed duration into the statistics."""
+        self.count += 1
+        self.total += seconds
+        self.min = seconds if seconds < self.min else self.min
+        self.max = seconds if seconds > self.max else self.max
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per observation (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class _Span:
+    """Context manager produced by :meth:`MetricsRegistry.span`."""
+
+    __slots__ = ("_registry", "name", "attrs", "_start", "duration")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, attrs: dict) -> None:
+        self._registry = registry
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+        self.duration = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self._start
+        self._registry._finish_span(self, error=exc_type.__name__ if exc_type else None)
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, timers, and a span sink."""
+
+    def __init__(self, sink: str | None = None) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._timers: dict[str, TimerStat] = {}
+        self._sink = sink if sink is not None else os.environ.get(_SINK_ENV) or None
+
+    # ------------------------------------------------------------------ #
+    # Instruments
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> Counter:
+        """Return (creating if needed) the counter called ``name``."""
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def timer(self, name: str) -> TimerStat:
+        """Return (creating if needed) the timer statistics for ``name``."""
+        with self._lock:
+            if name not in self._timers:
+                self._timers[name] = TimerStat(name)
+            return self._timers[name]
+
+    def span(self, name: str, **attrs) -> _Span:
+        """Open a trace span: times the block, optionally logs one JSON line.
+
+        ``attrs`` must be JSON-serializable; they land verbatim in the
+        sink record so traces can carry workload shape (item counts,
+        worker counts, voxel counts).
+        """
+        return _Span(self, name, attrs)
+
+    # ------------------------------------------------------------------ #
+    # Sink
+    # ------------------------------------------------------------------ #
+    def configure_sink(self, path=None) -> None:
+        """Set (or with ``None``, disable) the JSON-lines span sink."""
+        with self._lock:
+            self._sink = str(path) if path is not None else None
+
+    @property
+    def sink(self) -> str | None:
+        """Current sink path, or ``None`` when span logging is off."""
+        return self._sink
+
+    def _finish_span(self, span: _Span, error: str | None) -> None:
+        self.timer(span.name).record(span.duration)
+        sink = self._sink
+        if sink is None:
+            return
+        record = {
+            "event": "span",
+            "name": span.name,
+            "ts": time.time(),
+            "duration_s": span.duration,
+            "pid": os.getpid(),
+        }
+        if span.attrs:
+            record["attrs"] = span.attrs
+        if error is not None:
+            record["error"] = error
+        line = json.dumps(record) + "\n"
+        with self._lock:
+            # Append-mode open per event: O_APPEND keeps lines atomic
+            # enough across forked workers sharing the file.
+            try:
+                with open(sink, "a", encoding="utf-8") as fh:
+                    fh.write(line)
+            except OSError:
+                pass  # observability must never take the pipeline down
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every counter and timer."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self._counters.items()},
+                "timers": {
+                    n: {
+                        "count": t.count,
+                        "total_s": t.total,
+                        "mean_s": t.mean,
+                        "min_s": t.min if t.count else 0.0,
+                        "max_s": t.max,
+                    }
+                    for n, t in self._timers.items()
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop all counters and timers (sink configuration is kept)."""
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+
+
+_default = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide default registry (what the pipeline instruments)."""
+    return _default

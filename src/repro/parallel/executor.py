@@ -13,6 +13,26 @@ picklable function over a sequence of work items with three backends:
 Results always come back in submission order regardless of completion
 order, and per-item wall times are recorded so the scaling benches can
 report speedup curves.
+
+Unlike a bare ``Pool.map``, the farm is fault tolerant and observable —
+the properties a real cluster deployment (paper Sec. 8) cannot live
+without:
+
+- each task runs under a :class:`RetryPolicy`: failed attempts are
+  retried with exponential backoff, and a per-attempt timeout bounds
+  stragglers (in the process backend the parent abandons the attempt at
+  the deadline; the serial backend checks the clock cooperatively after
+  the call returns);
+- when retries are exhausted the failure surfaces as a structured
+  :class:`TaskError` carrying the item index, attempt count, and the
+  remote traceback — or, with ``on_error="skip"``, the map degrades
+  gracefully: completed results are kept (failed slots hold ``None``)
+  and each casualty is recorded as a :class:`TaskFailure`;
+- a deterministic fault-injection hook
+  (:class:`repro.parallel.faults.FaultInjector`, also armable via
+  ``REPRO_FAULT_INJECT``) makes every one of those paths testable in CI;
+- counters and spans land in :mod:`repro.obs` (``executor.tasks``,
+  ``executor.retries``, ``executor.timeouts``, ``executor.failures``).
 """
 
 from __future__ import annotations
@@ -20,7 +40,99 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
-from dataclasses import dataclass
+import traceback
+from dataclasses import dataclass, field
+
+from repro.obs import get_metrics
+from repro.parallel.faults import FaultInjector, as_injector
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the farm treats a failing or straggling task.
+
+    Parameters
+    ----------
+    max_retries:
+        Retries *after* the first attempt (total attempts is
+        ``max_retries + 1``).
+    backoff:
+        Seconds to wait before the first retry.
+    backoff_factor:
+        Multiplier applied per further retry (exponential backoff).
+    timeout:
+        Per-attempt wall-clock budget in seconds (``None`` = unbounded).
+        Process backend: the parent stops waiting at the deadline and
+        schedules the attempt as failed (the worker slot frees up when
+        the stuck call eventually returns).  Serial backend: checked
+        after the call returns, so an in-process attempt cannot be
+        preempted — an overlong attempt is *converted* to a timeout
+        failure for policy purposes.
+    """
+
+    max_retries: int = 0
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff seconds before the retry that follows attempt ``attempt``."""
+        return self.backoff * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that exhausted its retry budget.
+
+    Attributes
+    ----------
+    index:
+        Position of the failed item in the submitted sequence.
+    attempts:
+        Attempts made (``RetryPolicy.max_retries + 1`` unless injected).
+    error_type, message:
+        Exception class name and message of the *final* attempt.
+    remote_traceback:
+        The worker-side traceback, formatted where the exception was
+        raised (empty for parent-side timeouts, which have no frame).
+    """
+
+    index: int
+    attempts: int
+    error_type: str
+    message: str
+    remote_traceback: str = ""
+
+    def describe(self) -> str:
+        """Human-readable one-failure report, traceback included."""
+        text = (f"item {self.index} failed after {self.attempts} attempt(s): "
+                f"{self.error_type}: {self.message}")
+        if self.remote_traceback:
+            text += f"\n--- remote traceback ---\n{self.remote_traceback.rstrip()}"
+        return text
+
+
+class TaskError(RuntimeError):
+    """A task exhausted its retries and ``on_error`` was ``"raise"``."""
+
+    def __init__(self, failure: TaskFailure) -> None:
+        super().__init__(failure.describe())
+        self.failure = failure
+
+    @property
+    def index(self) -> int:
+        """Index of the item whose task failed."""
+        return self.failure.index
 
 
 @dataclass
@@ -30,24 +142,53 @@ class MapResult:
     Attributes
     ----------
     results:
-        Function outputs in submission order.
+        Function outputs in submission order.  With ``on_error="skip"``
+        a failed item's slot holds ``None`` (alignment with ``items`` is
+        preserved; consult :attr:`failures` for what went wrong).
     elapsed:
         Total wall-clock seconds for the whole map.
     backend:
         The backend actually used (``"serial"`` or ``"process"``).
     workers:
         Worker count actually used.
+    item_times:
+        Per-item wall seconds of the *successful* attempt, measured
+        inside the worker (for a failed item: the final attempt's
+        duration; 0.0 for parent-side timeouts).
+    failures:
+        :class:`TaskFailure` records, only populated under
+        ``on_error="skip"`` (``on_error="raise"`` raises instead).
+    retries:
+        Total retry attempts scheduled across all items.
     """
 
     results: list
     elapsed: float
     backend: str
     workers: int
+    item_times: list[float] = field(default_factory=list)
+    failures: list[TaskFailure] = field(default_factory=list)
+    retries: int = 0
 
     @property
     def throughput(self) -> float:
-        """Items per second."""
-        return len(self.results) / self.elapsed if self.elapsed > 0 else float("inf")
+        """Items per second (0.0 when the map took no measurable time)."""
+        return len(self.results) / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every item produced a result."""
+        return not self.failures
+
+    @property
+    def n_completed(self) -> int:
+        """Count of items that produced a result."""
+        return len(self.results) - len(self.failures)
+
+    def completed(self) -> list[tuple[int, object]]:
+        """``(index, result)`` pairs for the items that succeeded."""
+        failed = {f.index for f in self.failures}
+        return [(i, r) for i, r in enumerate(self.results) if i not in failed]
 
 
 def _resolve_workers(workers: int | None) -> int:
@@ -58,53 +199,273 @@ def _resolve_workers(workers: int | None) -> int:
     return workers
 
 
+def will_use_processes(backend: str, workers: int | None, n_items: int) -> bool:
+    """Whether :func:`map_timesteps` would fan out to processes.
+
+    Exported so payload-transport decisions (pickle vs shared memory in
+    :mod:`repro.core.pipeline`) can be made before building payloads.
+    """
+    if backend not in ("auto", "serial", "process"):
+        raise ValueError(f"unknown backend {backend!r}")
+    resolved = _resolve_workers(workers)
+    return backend == "process" or (backend == "auto" and resolved > 1 and n_items > 1)
+
+
+def _run_chunk(payloads) -> list[tuple]:
+    """Worker-side runner: execute a chunk of attempts, never raise.
+
+    Each payload is ``(fn, index, item, attempt, injector)``; each outcome
+    is ``(index, ok, result, elapsed, error)`` where ``error`` is ``None``
+    or ``(type_name, message, formatted_traceback)``.  Catching here keeps
+    one bad item from poisoning its chunk-mates and carries the *remote*
+    traceback back across the process boundary as plain text.
+    """
+    outcomes = []
+    for fn, index, item, attempt, injector in payloads:
+        start = time.perf_counter()
+        try:
+            if injector is not None:
+                injector.maybe_raise(index, attempt)
+            result = fn(item)
+            outcomes.append((index, True, result, time.perf_counter() - start, None))
+        except Exception as exc:  # noqa: BLE001 - the farm owns error policy
+            outcomes.append((
+                index, False, None, time.perf_counter() - start,
+                (type(exc).__name__, str(exc), traceback.format_exc()),
+            ))
+    return outcomes
+
+
+class _MapState:
+    """Bookkeeping shared by the serial and process schedulers."""
+
+    def __init__(self, n: int, policy: RetryPolicy, on_error: str) -> None:
+        self.results: list = [None] * n
+        self.item_times = [0.0] * n
+        self.failures: list[TaskFailure] = []
+        self.retries = 0
+        self.policy = policy
+        self.on_error = on_error
+
+    def succeed(self, index: int, result, elapsed: float) -> None:
+        self.results[index] = result
+        self.item_times[index] = elapsed
+
+    def fail(self, index: int, attempt: int, elapsed: float, error) -> float | None:
+        """Record a failed attempt; return the retry delay or ``None`` if final."""
+        metrics = get_metrics()
+        if error[0] == "TaskTimeout":
+            metrics.counter("executor.timeouts").inc()
+        if attempt <= self.policy.max_retries:
+            self.retries += 1
+            metrics.counter("executor.retries").inc()
+            return self.policy.delay(attempt)
+        failure = TaskFailure(index, attempt, error[0], error[1], error[2])
+        metrics.counter("executor.failures").inc()
+        if self.on_error == "raise":
+            raise TaskError(failure)
+        self.item_times[index] = elapsed
+        self.failures.append(failure)
+        return None
+
+
+def _timeout_error(timeout: float):
+    return ("TaskTimeout", f"attempt exceeded the {timeout:g}s per-task timeout", "")
+
+
+def _map_serial(fn, items, state: _MapState, injector) -> None:
+    policy = state.policy
+    for index, item in enumerate(items):
+        attempt = 1
+        while True:
+            (_, ok, result, elapsed, error) = _run_chunk(
+                [(fn, index, item, attempt, injector)]
+            )[0]
+            if ok and policy.timeout is not None and elapsed > policy.timeout:
+                ok, error = False, _timeout_error(policy.timeout)
+            if ok:
+                state.succeed(index, result, elapsed)
+                break
+            delay = state.fail(index, attempt, elapsed, error)
+            if delay is None:
+                break
+            if delay > 0:
+                time.sleep(delay)
+            attempt += 1
+
+
+def _map_process(fn, items, state: _MapState, injector, workers: int,
+                 chunksize: int, ctx) -> None:
+    policy = state.policy
+    # Pending entries are (indices, attempt, eligible_at); initial chunks
+    # honour ``chunksize``, retries go back as single-item chunks so each
+    # item keeps its own attempt counter and backoff clock.
+    pending: list[tuple[tuple[int, ...], int, float]] = [
+        (tuple(range(start, min(start + chunksize, len(items)))), 1, 0.0)
+        for start in range(0, len(items), chunksize)
+    ]
+    in_flight: list[dict] = []
+    with ctx.Pool(processes=workers) as pool:
+        while pending or in_flight:
+            now = time.monotonic()
+            progressed = False
+            still_waiting = []
+            for indices, attempt, eligible_at in pending:
+                if eligible_at > now:
+                    still_waiting.append((indices, attempt, eligible_at))
+                    continue
+                payloads = [(fn, i, items[i], attempt, injector) for i in indices]
+                handle = pool.apply_async(_run_chunk, (payloads,))
+                deadline = (None if policy.timeout is None
+                            else now + policy.timeout * len(indices))
+                in_flight.append({"handle": handle, "indices": indices,
+                                  "attempt": attempt, "deadline": deadline})
+                progressed = True
+            pending = still_waiting
+
+            remaining = []
+            for task in in_flight:
+                if task["handle"].ready():
+                    progressed = True
+                    try:
+                        outcomes = task["handle"].get()
+                    except Exception as exc:  # result transport failed
+                        outcomes = [
+                            (i, False, None, 0.0,
+                             (type(exc).__name__, str(exc), traceback.format_exc()))
+                            for i in task["indices"]
+                        ]
+                    for index, ok, result, elapsed, error in outcomes:
+                        if ok:
+                            state.succeed(index, result, elapsed)
+                        else:
+                            delay = state.fail(index, task["attempt"], elapsed, error)
+                            if delay is not None:
+                                pending.append(
+                                    ((index,), task["attempt"] + 1,
+                                     time.monotonic() + delay)
+                                )
+                elif task["deadline"] is not None and now > task["deadline"]:
+                    # Abandon the attempt: schedule the items as timed out.
+                    # The worker finishes (or hangs) on its own; its late
+                    # result is simply never read.
+                    progressed = True
+                    for index in task["indices"]:
+                        delay = state.fail(index, task["attempt"], 0.0,
+                                           _timeout_error(policy.timeout))
+                        if delay is not None:
+                            pending.append(
+                                ((index,), task["attempt"] + 1,
+                                 time.monotonic() + delay)
+                            )
+                else:
+                    remaining.append(task)
+            in_flight = remaining
+            if not progressed:
+                time.sleep(0.002)
+
+
 def map_timesteps(fn, items, workers: int | None = None, backend: str = "auto",
-                  chunksize: int = 1) -> MapResult:
+                  chunksize: int = 1, retry: RetryPolicy | int | None = None,
+                  on_error: str = "raise",
+                  inject_faults: FaultInjector | dict | None = None) -> MapResult:
     """Map ``fn`` over ``items`` (one item ≙ one time step's work).
 
     ``fn`` must be picklable (module-level) for the process backend.
-    Exceptions raised by ``fn`` propagate to the caller in every backend.
+
+    Parameters
+    ----------
+    retry:
+        A :class:`RetryPolicy`, a bare int (shorthand for
+        ``RetryPolicy(max_retries=n)``), or ``None`` for the default
+        policy (no retries, no timeout).
+    on_error:
+        ``"raise"`` (default) — the first task to exhaust its retries
+        raises :class:`TaskError` with the item index and remote
+        traceback, in every backend.  ``"skip"`` — degraded mode: the map
+        completes, failed slots hold ``None``, and
+        :attr:`MapResult.failures` records each casualty.
+    inject_faults:
+        Deterministic fault schedule for testing (see
+        :mod:`repro.parallel.faults`); ``None`` defers to the
+        ``REPRO_FAULT_INJECT`` environment spec.
     """
     items = list(items)
     workers = _resolve_workers(workers)
     if backend not in ("auto", "serial", "process"):
         raise ValueError(f"unknown backend {backend!r}")
+    if chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    if retry is None:
+        policy = RetryPolicy()
+    elif isinstance(retry, int):
+        policy = RetryPolicy(max_retries=retry)
+    else:
+        policy = retry
+    injector = as_injector(inject_faults)
     use_process = backend == "process" or (
         backend == "auto" and workers > 1 and len(items) > 1
     )
-    start = time.perf_counter()
-    if not use_process:
-        results = [fn(item) for item in items]
-        return MapResult(results, time.perf_counter() - start, "serial", 1)
-    ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context("spawn")
-    with ctx.Pool(processes=workers) as pool:
-        results = pool.map(fn, items, chunksize=max(1, chunksize))
-    return MapResult(results, time.perf_counter() - start, "process", workers)
+    metrics = get_metrics()
+    metrics.counter("executor.tasks").inc(len(items))
+    state = _MapState(len(items), policy, on_error)
+    used_backend = "process" if use_process else "serial"
+    used_workers = workers if use_process else 1
+    with metrics.span("executor.map", backend=used_backend, workers=used_workers,
+                      items=len(items)):
+        start = time.perf_counter()
+        if not use_process:
+            _map_serial(fn, items, state, injector)
+        else:
+            ctx = (mp.get_context("fork") if hasattr(os, "fork")
+                   else mp.get_context("spawn"))
+            _map_process(fn, items, state, injector, workers, chunksize, ctx)
+        elapsed = time.perf_counter() - start
+    return MapResult(state.results, elapsed, used_backend, used_workers,
+                     item_times=state.item_times, failures=state.failures,
+                     retries=state.retries)
 
 
 class TimestepExecutor:
-    """Reusable executor bound to a worker count and backend.
+    """Reusable executor bound to a worker count, backend, and retry policy.
 
     Convenience wrapper for pipelines that issue several maps (classify all
     steps, then render all steps) with consistent configuration, while
     accumulating simple utilization statistics.
     """
 
-    def __init__(self, workers: int | None = None, backend: str = "auto") -> None:
+    def __init__(self, workers: int | None = None, backend: str = "auto",
+                 retry: RetryPolicy | int | None = None,
+                 on_error: str = "raise") -> None:
         self.workers = _resolve_workers(workers)
         if backend not in ("auto", "serial", "process"):
             raise ValueError(f"unknown backend {backend!r}")
+        if on_error not in ("raise", "skip"):
+            raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
         self.backend = backend
+        self.retry = retry
+        self.on_error = on_error
         self.maps_run = 0
         self.items_processed = 0
         self.total_elapsed = 0.0
+        self.total_retries = 0
+        self.total_failures = 0
 
-    def map(self, fn, items, chunksize: int = 1) -> list:
-        """Map and return just the results (stats recorded on the side)."""
+    def map_result(self, fn, items, chunksize: int = 1) -> MapResult:
+        """Map and return the full :class:`MapResult` (stats accumulated)."""
         outcome = map_timesteps(
-            fn, items, workers=self.workers, backend=self.backend, chunksize=chunksize
+            fn, items, workers=self.workers, backend=self.backend,
+            chunksize=chunksize, retry=self.retry, on_error=self.on_error,
         )
         self.maps_run += 1
         self.items_processed += len(outcome.results)
         self.total_elapsed += outcome.elapsed
-        return outcome.results
+        self.total_retries += outcome.retries
+        self.total_failures += len(outcome.failures)
+        return outcome
+
+    def map(self, fn, items, chunksize: int = 1) -> list:
+        """Map and return just the results (stats recorded on the side)."""
+        return self.map_result(fn, items, chunksize=chunksize).results

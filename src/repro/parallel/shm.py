@@ -1,0 +1,172 @@
+"""Shared-memory volume transport for the task farm.
+
+The default way to ship a time step to a pool worker is to pickle the
+whole :class:`~repro.volume.grid.Volume` into the IPC pipe — every byte
+of voxel data is copied through a pipe per task.  For the paper-scale
+volumes the farm targets (256³ ≈ 64 MiB per step, Sec. 7) that dwarfs
+the actual work messages.  This module moves the voxels through
+:mod:`multiprocessing.shared_memory` instead:
+
+- the parent copies each step's voxels into a named shared segment once
+  (:class:`SharedVolumeArena`);
+- tasks carry only a :class:`SharedVolumeHandle` — segment name, shape,
+  dtype, metadata — a few hundred bytes however large the volume is;
+- workers attach the segment and wrap it in a zero-copy ``Volume`` view
+  (float32 C-order arrays pass :func:`check_volume_array` unconverted).
+
+Ground-truth masks are *not* shipped — workers classify or render, they
+do not score — which is itself a payload win for the synthetic datasets.
+
+Lifetime: the arena owns the segments; workers attach/close per task and
+never unlink.  On Python < 3.13 an attaching process would register the
+segment with its own ``resource_tracker`` (which would unlink it when
+that worker exits and spam leak warnings); :func:`attach_shared_memory`
+undoes that registration, matching the ``track=False`` semantics that
+3.13 made official.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.volume.grid import Volume
+
+try:  # pragma: no cover - exercised via HAS_SHARED_MEMORY gating
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - stdlib module absent (exotic builds)
+    shared_memory = None
+
+HAS_SHARED_MEMORY = shared_memory is not None
+
+
+def _tracker_is_foreign() -> bool:
+    """Whether this process's resource tracker is separate from its parent's.
+
+    Fork children inherit the parent's tracker, so their registrations are
+    idempotent set-inserts and must *not* be undone (the parent's unlink
+    does the single unregister).  Spawn/forkserver children get their own
+    tracker, which would unlink an attached segment when the worker exits
+    — there the attach-side registration has to be removed.
+    """
+    import multiprocessing as mp
+
+    if mp.parent_process() is None:
+        return False
+    return mp.get_start_method(allow_none=True) not in (None, "fork")
+
+
+def attach_shared_memory(name: str):
+    """Attach an existing segment without taking resource-tracker ownership."""
+    if not HAS_SHARED_MEMORY:
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        shm = shared_memory.SharedMemory(name=name)
+        if _tracker_is_foreign():
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+        return shm
+
+
+@dataclass(frozen=True)
+class SharedVolumeHandle:
+    """Picklable reference to a volume parked in shared memory."""
+
+    shm_name: str
+    shape: tuple[int, int, int]
+    time: int = 0
+    name: str = ""
+
+    @property
+    def nbytes(self) -> int:
+        """Voxel bytes the handle refers to (always float32)."""
+        n = 1
+        for dim in self.shape:
+            n *= dim
+        return n * 4
+
+    def open(self) -> tuple[Volume, object]:
+        """Attach and wrap as a zero-copy ``Volume``.
+
+        Returns ``(volume, segment)``; the caller must keep ``segment``
+        alive while using the volume and ``segment.close()`` afterwards
+        (or use :class:`OpenSharedVolume`).
+        """
+        shm = attach_shared_memory(self.shm_name)
+        data = np.ndarray(self.shape, dtype=np.float32, buffer=shm.buf)
+        return Volume(data, time=self.time, name=self.name), shm
+
+
+class OpenSharedVolume:
+    """``with OpenSharedVolume(handle) as volume: ...`` worker-side view."""
+
+    def __init__(self, handle: SharedVolumeHandle) -> None:
+        self._handle = handle
+        self._shm = None
+
+    def __enter__(self) -> Volume:
+        volume, self._shm = self._handle.open()
+        return volume
+
+    def __exit__(self, *exc) -> None:
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+
+class SharedVolumeArena:
+    """Parent-side owner of the shared segments for one map call.
+
+    Use as a context manager around the :func:`map_timesteps` call so the
+    segments outlive every task but are unlinked even when the map
+    raises::
+
+        with SharedVolumeArena() as arena:
+            payloads = [(clf, arena.share(vol)) for vol in sequence]
+            outcome = map_timesteps(_classify_one_shm, payloads, ...)
+    """
+
+    def __init__(self) -> None:
+        if not HAS_SHARED_MEMORY:
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        self._segments: list = []
+
+    def share(self, volume: Volume) -> SharedVolumeHandle:
+        """Copy one volume's voxels into a new segment; return its handle."""
+        data = np.ascontiguousarray(volume.data, dtype=np.float32)
+        shm = shared_memory.SharedMemory(create=True, size=data.nbytes)
+        view = np.ndarray(data.shape, dtype=np.float32, buffer=shm.buf)
+        view[...] = data
+        self._segments.append(shm)
+        return SharedVolumeHandle(
+            shm_name=shm.name, shape=tuple(data.shape),
+            time=volume.time, name=volume.name,
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """Voxel bytes currently parked in the arena."""
+        return sum(shm.size for shm in self._segments)
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        for shm in self._segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "SharedVolumeArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.obs import get_metrics
 from repro.parallel.executor import map_timesteps
 from repro.volume.io import load_volume
 
@@ -38,12 +39,15 @@ def stream_map(fn, directory, times=None, mmap: bool = False):
     Only one step's voxels are resident at a time; results are yielded as
     they are produced so callers can also stream their consumption.
     """
+    metrics = get_metrics()
     wanted = set(int(t) for t in times) if times is not None else None
     for time, stem in sequence_step_stems(directory):
         if wanted is not None and time not in wanted:
             continue
         volume = load_volume(stem, mmap=mmap)
-        yield time, fn(volume)
+        with metrics.span("stream.step", time=time):
+            result = fn(volume)
+        yield time, result
 
 
 def _stream_worker(payload):
@@ -52,22 +56,29 @@ def _stream_worker(payload):
 
 
 def stream_map_parallel(fn, directory, times=None, workers: int | None = None,
-                        backend: str = "auto") -> list[tuple[int, object]]:
+                        backend: str = "auto", retry=None,
+                        on_error: str = "raise") -> list[tuple[int, object]]:
     """Process-pool streaming map over a saved sequence.
 
     ``fn`` must be picklable; each worker loads its own step from disk, so
     the parent never materializes the sequence.  Results return in step
-    order as ``(time, result)`` pairs.
+    order as ``(time, result)`` pairs.  ``retry``/``on_error`` forward to
+    :func:`repro.parallel.executor.map_timesteps`; with
+    ``on_error="skip"`` a failed step's result slot holds ``None``.
+
+    The manifest is read exactly once, so the mapped items and the
+    returned step times cannot desync even if the directory is rewritten
+    mid-call.
     """
     wanted = set(int(t) for t in times) if times is not None else None
-    items = [
-        (fn, stem)
-        for time, stem in sequence_step_stems(directory)
-        if wanted is None or time in wanted
-    ]
-    kept_times = [
-        time for time, _ in sequence_step_stems(directory)
-        if wanted is None or time in wanted
-    ]
-    outcome = map_timesteps(_stream_worker, items, workers=workers, backend=backend)
+    items: list[tuple] = []
+    kept_times: list[int] = []
+    for time, stem in sequence_step_stems(directory):
+        if wanted is not None and time not in wanted:
+            continue
+        items.append((fn, stem))
+        kept_times.append(time)
+    with get_metrics().span("stream.map_parallel", steps=len(items)):
+        outcome = map_timesteps(_stream_worker, items, workers=workers,
+                                backend=backend, retry=retry, on_error=on_error)
     return list(zip(kept_times, outcome.results))

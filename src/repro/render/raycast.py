@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import ndimage
 
+from repro.obs import get_metrics
 from repro.render.camera import Camera
 from repro.render.image import Image
 from repro.render.shading import phong_shade
@@ -129,9 +130,12 @@ def render_volume(
         alpha = tf.opacity_at(values).astype(np.float32)
         return rgb, alpha
 
-    accum_rgb, accum_a = _composite_shells(
-        n_pixels, origins, directions, n_samples, step, shade_fn, sample_rgba
-    )
+    with get_metrics().span("render.volume", pixels=n_pixels, samples=n_samples,
+                            voxels=int(data.size), shading=shading):
+        accum_rgb, accum_a = _composite_shells(
+            n_pixels, origins, directions, n_samples, step, shade_fn, sample_rgba
+        )
+    get_metrics().counter("render.frames").inc()
     rgba = np.concatenate([accum_rgb, accum_a[:, None]], axis=1)
     return Image.from_array(
         rgba.reshape(camera.height, camera.width, 4), background=background
@@ -182,9 +186,11 @@ def render_rgba_volume(
         alpha = _sample(channels[3], coords)
         return rgb.astype(np.float32), np.clip(alpha, 0.0, 1.0).astype(np.float32)
 
-    accum_rgb, accum_a = _composite_shells(
-        n_pixels, origins, directions, n_samples, step, shade_fn, sample_rgba
-    )
+    with get_metrics().span("render.rgba_volume", pixels=n_pixels, samples=n_samples):
+        accum_rgb, accum_a = _composite_shells(
+            n_pixels, origins, directions, n_samples, step, shade_fn, sample_rgba
+        )
+    get_metrics().counter("render.frames").inc()
     rgba = np.concatenate([accum_rgb, accum_a[:, None]], axis=1)
     return Image.from_array(
         rgba.reshape(camera.height, camera.width, 4), background=background

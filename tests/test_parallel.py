@@ -65,6 +65,22 @@ class TestMapTimesteps:
         out = map_timesteps(square, [1, 2, 3], backend="serial")
         assert out.throughput > 0
 
+    def test_throughput_zero_elapsed(self):
+        from repro.parallel import MapResult
+
+        assert MapResult([1], 0.0, "serial", 1).throughput == 0.0
+
+    def test_chunksize_validated(self):
+        with pytest.raises(ValueError, match="chunksize"):
+            map_timesteps(square, [1, 2], chunksize=0)
+
+    def test_per_item_wall_times_recorded(self):
+        out = map_timesteps(square, [1, 2, 3], backend="serial")
+        assert len(out.item_times) == 3
+        assert all(t >= 0.0 for t in out.item_times)
+        proc = map_timesteps(square, [1, 2, 3], backend="process", workers=2)
+        assert len(proc.item_times) == 3
+
 
 class TestTimestepExecutor:
     def test_accumulates_stats(self):

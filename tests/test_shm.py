@@ -1,0 +1,115 @@
+"""Tests for shared-memory volume transport (repro.parallel.shm)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import DataSpaceClassifier, ShellFeatureExtractor
+from repro.core.pipeline import classify_sequence, render_sequence
+from repro.data import make_cosmology_sequence
+from repro.parallel import (
+    HAS_SHARED_MEMORY,
+    OpenSharedVolume,
+    SharedVolumeArena,
+)
+from repro.render.camera import Camera
+from repro.transfer.tf1d import TransferFunction1D
+from repro.volume.grid import Volume
+
+pytestmark = pytest.mark.skipif(
+    not HAS_SHARED_MEMORY, reason="multiprocessing.shared_memory unavailable"
+)
+
+
+def _volume():
+    rng = np.random.default_rng(0)
+    return Volume(rng.random((6, 7, 8)).astype(np.float32), time=42, name="t")
+
+
+def _trained_workload():
+    sequence = make_cosmology_sequence(shape=(14, 14, 14),
+                                       times=[100, 130, 160, 190], seed=3)
+    clf = DataSpaceClassifier(ShellFeatureExtractor(radius=1), seed=5)
+    vol = sequence.at_time(100)
+    rng = np.random.default_rng(1)
+    large = vol.mask("large")
+    pos = np.zeros_like(large)
+    neg = np.zeros_like(large)
+    for target, source in ((pos, np.argwhere(large)), (neg, np.argwhere(~large))):
+        for z, y, x in source[rng.choice(len(source), 40, replace=False)]:
+            target[z, y, x] = True
+    clf.add_examples(vol, positive_mask=pos, negative_mask=neg)
+    clf.train(epochs=25)
+    return clf, sequence
+
+
+class TestArenaRoundTrip:
+    def test_share_open_preserves_voxels_and_metadata(self):
+        vol = _volume()
+        with SharedVolumeArena() as arena:
+            handle = arena.share(vol)
+            with OpenSharedVolume(handle) as back:
+                assert np.array_equal(back.data, vol.data)
+                assert back.time == 42 and back.name == "t"
+
+    def test_handle_is_tiny_compared_to_volume(self):
+        vol = _volume()
+        with SharedVolumeArena() as arena:
+            handle = arena.share(vol)
+            assert len(pickle.dumps(handle)) < len(pickle.dumps(vol)) / 10
+            assert handle.nbytes == vol.data.nbytes
+
+    def test_close_unlinks_segments(self):
+        arena = SharedVolumeArena()
+        handle = arena.share(_volume())
+        arena.close()
+        with pytest.raises(FileNotFoundError):
+            OpenSharedVolume(handle).__enter__()
+        arena.close()  # idempotent
+
+    def test_arena_tracks_total_bytes(self):
+        vol = _volume()
+        with SharedVolumeArena() as arena:
+            arena.share(vol)
+            arena.share(vol)
+            assert arena.total_bytes == 2 * vol.data.nbytes
+
+
+class TestPipelineTransport:
+    def test_classify_shm_matches_pickle_and_serial(self):
+        clf, sequence = _trained_workload()
+        serial = classify_sequence(clf, sequence, workers=1, backend="serial")
+        shm = classify_sequence(clf, sequence, workers=2, backend="process",
+                                transport="shm")
+        pickled = classify_sequence(clf, sequence, workers=2, backend="process",
+                                    transport="pickle")
+        for a, b, c in zip(serial, shm, pickled):
+            assert np.allclose(a, b)
+            assert np.allclose(a, c)
+
+    def test_render_shm_matches_serial(self):
+        sequence = make_cosmology_sequence(shape=(12, 12, 12),
+                                           times=[100, 130, 160], seed=3)
+        lo, hi = sequence.value_range
+        tf = TransferFunction1D((lo, hi)).add_box(lo + 0.3 * (hi - lo), hi, 0.8)
+        camera = Camera(width=20, height=20)
+        serial = render_sequence(sequence, tf, camera=camera, workers=1,
+                                 backend="serial")
+        shm = render_sequence(sequence, tf, camera=camera, workers=2,
+                              backend="process", transport="shm")
+        for a, b in zip(serial, shm):
+            assert np.allclose(a.pixels, b.pixels)
+
+    def test_serial_backend_never_uses_shm(self):
+        # transport="shm" + serial map: no fan-out, so the pickle path runs
+        # (volumes never leave the process) and results are unchanged.
+        clf, sequence = _trained_workload()
+        out = classify_sequence(clf, sequence, workers=1, backend="serial",
+                                transport="shm")
+        assert len(out) == len(sequence)
+
+    def test_unknown_transport_rejected(self):
+        clf, sequence = _trained_workload()
+        with pytest.raises(ValueError, match="transport"):
+            classify_sequence(clf, sequence, transport="carrier-pigeon")

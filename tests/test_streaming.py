@@ -75,6 +75,38 @@ class TestStreamMapParallel:
         out = stream_map_parallel(mean_value, directory, times=[215], backend="serial")
         assert [t for t, _ in out] == [215]
 
+    def test_manifest_read_exactly_once(self, saved_sequence, monkeypatch):
+        """Items and returned times derive from a single manifest parse, so
+        a directory rewritten mid-call cannot desync them."""
+        import repro.parallel.streaming as streaming
+
+        calls = []
+        real = streaming.sequence_step_stems
+
+        def counting(directory):
+            calls.append(directory)
+            return real(directory)
+
+        directory, sequence = saved_sequence
+        monkeypatch.setattr(streaming, "sequence_step_stems", counting)
+        out = stream_map_parallel(mean_value, directory, backend="serial")
+        assert len(calls) == 1
+        assert [t for t, _ in out] == sequence.times
+
+    def test_skip_mode_yields_none_for_failed_step(self, saved_sequence, monkeypatch):
+        """Chaos-testing via REPRO_FAULT_INJECT reaches the streaming farm:
+        the faulted step's slot is None, the rest stream through."""
+        from repro.parallel.faults import FAULT_ENV
+
+        directory, sequence = saved_sequence
+        monkeypatch.setenv(FAULT_ENV, "1:99")
+        out = stream_map_parallel(mean_value, directory, backend="serial",
+                                  on_error="skip")
+        assert [t for t, _ in out] == sequence.times
+        results = [r for _, r in out]
+        assert results[1] is None
+        assert all(r is not None for i, r in enumerate(results) if i != 1)
+
     def test_with_trained_classifier(self, saved_sequence, cosmology_small):
         """The real workload: ship a trained classifier over disk steps."""
         directory, sequence = saved_sequence
