@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""CI perf-regression gate for the benchmark JSON artifacts.
+
+Compares every ``speedup_*`` key of a freshly produced ``BENCH_*.json``
+against the committed baseline and fails when any ratio drops more than
+``--tolerance`` below it.  Only *machine-relative* ratios are gated
+(fused-vs-gather and friends) — absolute voxels/sec vary wildly across CI
+hosts, but a path that is 11x faster than its reference on one machine
+does not become 2x on another unless the code regressed.  The committed
+baselines are deliberately conservative floors, not the development-host
+measurements, so noisy runners don't flake.
+
+Usage:
+    python benchmarks/check_perf_regression.py BENCH_classify.json \
+        benchmarks/baselines/BENCH_classify_baseline.json --tolerance 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def iter_speedups(payload: dict, prefix: str = ""):
+    """Yield (dotted_key, value) for every ``speedup_*`` number, nested."""
+    for key, value in payload.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            yield from iter_speedups(value, prefix=f"{dotted}.")
+        elif key.startswith("speedup_") and isinstance(value, (int, float)):
+            yield dotted, float(value)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="BENCH_*.json produced by this run")
+    parser.add_argument("baseline", help="committed baseline json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop below the baseline "
+                             "(default 0.25 = fresh >= 0.75 * baseline)")
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(Path(args.fresh).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    fresh_speedups = dict(iter_speedups(fresh))
+    baseline_speedups = dict(iter_speedups(baseline))
+    if not baseline_speedups:
+        print(f"error: no speedup_* keys in baseline {args.baseline}")
+        return 2
+
+    failures = []
+    print(f"{'key':<45} {'baseline':>9} {'fresh':>9} {'floor':>9}  verdict")
+    for key, base in sorted(baseline_speedups.items()):
+        floor = base * (1.0 - args.tolerance)
+        got = fresh_speedups.get(key)
+        if got is None:
+            failures.append(f"{key}: missing from {args.fresh}")
+            print(f"{key:<45} {base:>9.2f} {'-':>9} {floor:>9.2f}  MISSING")
+            continue
+        ok = got >= floor
+        print(f"{key:<45} {base:>9.2f} {got:>9.2f} {floor:>9.2f}  "
+              f"{'ok' if ok else 'REGRESSED'}")
+        if not ok:
+            failures.append(f"{key}: {got:.2f} < floor {floor:.2f} "
+                            f"(baseline {base:.2f}, tolerance {args.tolerance})")
+    if failures:
+        print("\nperf regression gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nperf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,8 @@ Subcommands (``python -m repro.cli <cmd> -h`` for options):
   named ground-truth mask's value band) and save it as JSON;
 - ``apply-iatf`` — regenerate per-step TFs from a saved IATF, report
   feature retention, optionally in parallel;
+- ``classify`` — train a data-space classifier from ground-truth masks and
+  classify every step (``--fast``/``--exact``, ``--prune``, ``--cache``);
 - ``render`` — render a sequence to PPM frames with a box TF or saved IATF;
 - ``track`` — fixed-range or adaptive tracking; writes per-step voxel
   counts and the event timeline.
@@ -27,8 +29,17 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.dataspace import (
+    DataSpaceClassifier,
+    ShellFeatureExtractor,
+    derive_shell_radius,
+)
 from repro.core.iatf import AdaptiveTransferFunction
-from repro.core.pipeline import generate_sequence_tfs, render_sequence
+from repro.core.pipeline import (
+    classify_sequence,
+    generate_sequence_tfs,
+    render_sequence,
+)
 from repro.core.tracking import FeatureTracker
 from repro.obs import get_metrics
 from repro.data import (
@@ -149,6 +160,68 @@ def cmd_apply_iatf(args) -> int:
     return 0
 
 
+def _sample_mask(mask, n: int, rng) -> np.ndarray:
+    """Subsample a boolean mask down to at most ``n`` set voxels."""
+    idx = np.argwhere(mask)
+    if len(idx) == 0:
+        raise SystemExit("training mask selects no voxels")
+    if len(idx) > n:
+        idx = idx[rng.choice(len(idx), size=n, replace=False)]
+    out = np.zeros(mask.shape, dtype=bool)
+    out[tuple(idx.T)] = True
+    return out
+
+
+def cmd_classify(args) -> int:
+    """Train a data-space classifier and classify every step."""
+    sequence = load_sequence(args.seqdir)
+    rng = np.random.default_rng(args.seed)
+    radius = args.radius
+    if radius <= 0:
+        radius = derive_shell_radius(sequence.at_time(args.train_steps[0]).mask(args.mask))
+    extractor = ShellFeatureExtractor(radius=radius)
+    classifier = DataSpaceClassifier(extractor, seed=args.seed)
+    for t in args.train_steps:
+        vol = sequence.at_time(t)
+        gt = vol.mask(args.mask)
+        classifier.add_examples(
+            vol,
+            positive_mask=_sample_mask(gt, args.samples, rng),
+            negative_mask=_sample_mask(~gt, args.samples, rng),
+        )
+    classifier.train(epochs=args.epochs)
+    # The temporal-coherence cache is in-process state: it forces serial
+    # execution (classify_sequence enforces this), so drop the fan-out.
+    workers = 1 if args.cache else args.workers
+    backend = "serial" if args.cache or workers <= 1 else "process"
+    results = classify_sequence(
+        classifier, sequence, workers=workers, backend=backend,
+        retry=args.retries, on_error=args.on_error, mode=args.mode,
+        prune=args.prune, cache=True if args.cache else None,
+    )
+    print(f"shell radius: {radius}  mode: {args.mode}"
+          f"{'  prune' if args.prune else ''}{'  cache' if args.cache else ''}")
+    print(f"{'step':>6} {'selected':>9} {'retention':>10}")
+    outdir = Path(args.out) if args.out else None
+    if outdir is not None:
+        outdir.mkdir(parents=True, exist_ok=True)
+    for vol, cert in zip(sequence, results):
+        if cert is None:
+            print(f"{vol.time:>6} {'FAILED':>9}")
+            continue
+        ret = feature_retention(cert, vol.mask(args.mask))
+        print(f"{vol.time:>6} {int((cert > 0.5).sum()):>9} {ret:>10.3f}")
+        if outdir is not None:
+            np.save(outdir / f"certainty_{vol.time:06d}.npy", cert)
+    counters = get_metrics().counter_values("classify.")
+    if counters:
+        print("counters: " + "  ".join(f"{k.removeprefix('classify.')}={v}"
+                                       for k, v in sorted(counters.items())))
+    if outdir is not None:
+        print(f"per-step certainty fields saved to {outdir}")
+    return 0
+
+
 def cmd_render(args) -> int:
     """Render every step to PPM frames (box TF or saved IATF)."""
     sequence = load_sequence(args.seqdir)
@@ -259,6 +332,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1)
     _add_farm_options(p)
     p.set_defaults(func=cmd_apply_iatf)
+
+    p = sub.add_parser("classify", help="train a data-space classifier "
+                                        "and classify every step")
+    p.add_argument("seqdir")
+    p.add_argument("--mask", required=True,
+                   help="ground-truth mask providing the training examples")
+    p.add_argument("--train-steps", type=int, nargs="+", required=True,
+                   help="step ids whose masks seed the training set")
+    p.add_argument("--samples", type=int, default=150,
+                   help="positive/negative examples sampled per training step")
+    p.add_argument("--radius", type=int, default=0,
+                   help="shell radius (0 = derive from the first training mask)")
+    p.add_argument("--epochs", type=int, default=300)
+    p.add_argument("--seed", type=int, default=11)
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument("--fast", dest="mode", action="store_const", const="fast",
+                      default="fast",
+                      help="padded-view fused float32 inference (default)")
+    mode.add_argument("--exact", dest="mode", action="store_const", const="exact",
+                      help="reference float64 gather path")
+    p.add_argument("--prune", action="store_true",
+                   help="skip blocks whose certified certainty upper bound "
+                        "is below threshold (fast path only)")
+    p.add_argument("--cache", action="store_true",
+                   help="temporal-coherence brick cache across steps "
+                        "(fast path only; forces serial execution)")
+    p.add_argument("--out", help="directory for per-step certainty .npy files")
+    p.add_argument("--workers", type=int, default=1)
+    _add_farm_options(p)
+    p.set_defaults(func=cmd_classify)
 
     p = sub.add_parser("render", help="render a sequence to PPM frames")
     p.add_argument("seqdir")

@@ -28,6 +28,11 @@ from repro.core.dataspace import (
     ShellFeatureExtractor,
     derive_shell_radius,
 )
+from repro.core.fastclassify import (
+    FastVolumeClassifier,
+    TemporalCoherenceCache,
+    fast_feature_matrix,
+)
 from repro.core.introspect import (
     classifier_importance,
     permutation_importance,
@@ -46,6 +51,7 @@ __all__ = [
     "AdaptiveTransferFunction",
     "BayesEngine",
     "DataSpaceClassifier",
+    "FastVolumeClassifier",
     "FeatureTracker",
     "GaussianNaiveBayes",
     "KeyFrame",
@@ -55,12 +61,14 @@ __all__ = [
     "SVMEngine",
     "ShellFeatureExtractor",
     "SupportVectorMachine",
+    "TemporalCoherenceCache",
     "TemporalHMM",
     "TrackResult",
     "TrainingSet",
     "classifier_importance",
     "classify_sequence",
     "derive_shell_radius",
+    "fast_feature_matrix",
     "generate_sequence_tfs",
     "make_engine",
     "permutation_importance",

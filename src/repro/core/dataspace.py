@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.fastclassify import FastVolumeClassifier, TemporalCoherenceCache
 from repro.core.mlp import NeuralNetwork, TrainingSet
+from repro.obs import get_metrics
 from repro.segmentation.components import feature_attributes, label_components
 from repro.volume.grid import Volume
 
@@ -122,6 +124,17 @@ class ShellFeatureExtractor:
         return len(self._offsets)
 
     @property
+    def offsets(self) -> np.ndarray:
+        """Integer ``(n_shell, 3)`` voxel offsets of the shell samples.
+
+        Read-only view; the fast classification path derives its padded
+        strided views from these.
+        """
+        view = self._offsets.view()
+        view.flags.writeable = False
+        return view
+
+    @property
     def n_features(self) -> int:
         """Total feature-vector length."""
         return 1 + self.n_shell + 3 * self.include_position + self.include_time
@@ -163,7 +176,11 @@ class ShellFeatureExtractor:
             cx = np.clip(coords[:, 2] + off[2], 0, nx - 1)
             shell[:, k] = flat[(cz * ny + cy) * nx + cx]
         if self.sort_shell:
-            shell = -np.sort(-shell, axis=1)  # descending
+            # In-place ascending sort read through a reversed view gives
+            # the descending order without the two negated temporaries of
+            # the old -np.sort(-shell).
+            shell.sort(axis=1)
+            shell = shell[:, ::-1]
         out[:, 1 : 1 + self.n_shell] = shell
         col = 1 + self.n_shell
         if self.include_position:
@@ -223,6 +240,9 @@ class DataSpaceClassifier:
                 )
             self.engine = engine
         self.training = TrainingSet(self.extractor.n_features)
+        # Block statistics of the most recent fast-path classify() call
+        # (blocks_total/blocks_pruned/cache_hits/cache_misses/pruned_blocks).
+        self.last_fast_stats: dict | None = None
 
     @property
     def net(self) -> NeuralNetwork:
@@ -265,9 +285,13 @@ class DataSpaceClassifier:
         single-element history for batch engines (SVM, naive Bayes).
         """
         X, y = self.training.arrays()
-        if hasattr(self.engine, "net"):
-            return self.engine.net.train(X, y, epochs=epochs, batch_size=batch_size, tol=tol)
-        return [self.engine.train_full(X, y)]
+        with get_metrics().span("dataspace.train", samples=len(self.training),
+                                epochs=int(epochs),
+                                engine=type(self.engine).__name__):
+            if hasattr(self.engine, "net"):
+                return self.engine.net.train(X, y, epochs=epochs,
+                                             batch_size=batch_size, tol=tol)
+            return [self.engine.train_full(X, y)]
 
     def train_increment(self, epochs: int = 10, batch_size: int = 64) -> float:
         """Idle-loop training slice (Sec. 6).
@@ -276,20 +300,95 @@ class DataSpaceClassifier:
         "refit between interactions", which their training cost permits.
         """
         X, y = self.training.arrays()
-        return self.engine.train_more(X, y, epochs=epochs, batch_size=batch_size)
+        with get_metrics().span("dataspace.train_increment",
+                                samples=len(self.training), epochs=int(epochs),
+                                engine=type(self.engine).__name__):
+            return self.engine.train_more(X, y, epochs=epochs, batch_size=batch_size)
 
-    def classify(self, volume, time: float | None = None, chunk: int = 1 << 18) -> np.ndarray:
-        """Per-voxel certainty field for a whole volume (chunked).
+    def supports_fast_path(self) -> tuple[bool, str]:
+        """Whether the fused float32 path can classify for this setup.
+
+        Returns ``(ok, reason)``; the reason names the first blocker
+        (non-MLP engine, untrained network, or an extractor with no
+        padded-view plan, e.g. the Sec. 6 feature-subset view).
+        """
+        if not getattr(self.engine, "supports_fast", False) or not hasattr(self.engine, "net"):
+            return False, (f"engine {type(self.engine).__name__} has no neural "
+                           "network to fold into a fused float32 kernel")
+        if not self.engine.net.is_fitted:
+            return False, ("network is untrained: no standardization "
+                           "statistics to fold into the first layer")
+        if not isinstance(self.extractor, (ShellFeatureExtractor,
+                                           MultivariateShellExtractor)):
+            return False, (f"extractor {type(self.extractor).__name__} has no "
+                           "padded-view feature plan")
+        return True, "ok"
+
+    def classify(self, volume, time: float | None = None, chunk: int = 1 << 18,
+                 mode: str = "exact", prune: bool = False,
+                 cache: TemporalCoherenceCache | None = None,
+                 block_shape=(32, 32, 32),
+                 prune_threshold: float = 0.5) -> np.ndarray:
+        """Per-voxel certainty field for a whole volume.
 
         This is the operation Sec. 7 times at 10 s for a 256³ grid; its
         cost is linear in voxels × features × hidden units.
+
+        ``mode`` selects the implementation:
+
+        - ``"exact"`` (default) — the float64 reference: chunked
+          coordinate gathers, standardization, float64 forward pass.
+        - ``"fast"`` — edge-padded strided views + fused float32 GEMMs
+          (:class:`~repro.core.fastclassify.FastVolumeClassifier`); agrees
+          with exact to |Δcertainty| ≤ 1e-3.  Raises when unsupported
+          (see :meth:`supports_fast_path`).
+        - ``"auto"`` — fast when supported, else the exact fallback.
+
+        ``prune`` (fast path only) skips blocks whose interval-certified
+        certainty upper bound stays below ``prune_threshold``; ``cache``
+        (fast path only) reuses unchanged blocks across calls by content
+        digest.  Block statistics land in the ``classify.*`` counters of
+        :func:`repro.obs.get_metrics`.
         """
+        if mode not in ("exact", "fast", "auto"):
+            raise ValueError(f"unknown mode {mode!r}; expected exact/fast/auto")
         data = volume.data if isinstance(volume, Volume) else np.asarray(volume)
         t = float(volume.time if (time is None and isinstance(volume, Volume)) else (time or 0.0))
-        out = np.empty(data.size, dtype=np.float32)
-        for flat_slice, feats in self.extractor.iter_volume_features(volume, time=t, chunk=chunk):
-            out[flat_slice] = self.engine.predict(feats)
-        return out.reshape(data.shape)
+        use_fast = False
+        if mode in ("fast", "auto"):
+            ok, reason = self.supports_fast_path()
+            if ok:
+                use_fast = True
+            elif mode == "fast":
+                raise ValueError(f"fast classification path unavailable: {reason}")
+        if (prune or cache is not None) and not use_fast:
+            raise ValueError("prune/cache require the fast classification path "
+                             "(mode='fast', or 'auto' with a trained MLP)")
+        metrics = get_metrics()
+        with metrics.span("dataspace.classify", voxels=int(data.size),
+                          mode="fast" if use_fast else "exact",
+                          prune=bool(prune), cached=cache is not None) as span:
+            if use_fast:
+                engine = FastVolumeClassifier(
+                    self.extractor, self.engine.net,
+                    block_shape=block_shape, chunk=chunk,
+                )
+                out = engine.classify(volume, time=t, prune=prune,
+                                      threshold=prune_threshold, cache=cache)
+                stats = engine.last_stats
+                self.last_fast_stats = stats
+                for key in ("blocks_total", "blocks_pruned",
+                            "cache_hits", "cache_misses"):
+                    metrics.counter(f"classify.{key}").inc(stats[key])
+                    span.attrs[key] = stats[key]
+            else:
+                out = np.empty(data.size, dtype=np.float32)
+                for flat_slice, feats in self.extractor.iter_volume_features(
+                        volume, time=t, chunk=chunk):
+                    out[flat_slice] = self.engine.predict(feats)
+                out = out.reshape(data.shape)
+        metrics.counter("classify.voxels").inc(int(data.size))
+        return out
 
     def classify_slice(self, volume, axis: int, index: int, time: float | None = None) -> np.ndarray:
         """Certainty for one axis-aligned slice only — the interactive
@@ -382,6 +481,21 @@ class MultivariateShellExtractor:
         self.include_position = bool(include_position)
         self.include_time = bool(include_time)
         self.radius = self._block.radius
+
+    @property
+    def directions_name(self) -> str:
+        """Direction-set name of the per-field shell block."""
+        return self._block.directions_name
+
+    @property
+    def sort_shell(self) -> bool:
+        """Whether each field's shell samples are sorted descending."""
+        return self._block.sort_shell
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """Shell sample offsets shared by every field (read-only)."""
+        return self._block.offsets
 
     @property
     def n_features(self) -> int:

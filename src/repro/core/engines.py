@@ -30,6 +30,11 @@ class MLPEngine:
 
     name = "mlp"
     incremental = True
+    # The perceptron is the one engine whose inference is two affine layers
+    # plus elementwise monotone activations, which is what the fused
+    # float32 kernel and the interval-bound block pruner of
+    # :mod:`repro.core.fastclassify` require.
+    supports_fast = True
 
     def __init__(self, n_inputs: int, hidden: int = 16, learning_rate: float = 0.3,
                  momentum: float = 0.9, seed=0) -> None:
@@ -69,6 +74,7 @@ class SVMEngine:
 
     name = "svm"
     incremental = False
+    supports_fast = False  # kernel expansion has no fused two-GEMM form
 
     def __init__(self, n_inputs: int, C: float = 5.0, kernel: str = "rbf",
                  gamma: float | None = None, seed=0) -> None:
@@ -109,6 +115,7 @@ class BayesEngine:
 
     name = "bayes"
     incremental = False
+    supports_fast = False  # per-class Gaussians, not an affine stack
 
     def __init__(self, n_inputs: int, var_floor: float = 1e-3,
                  use_priors: bool = False, **_ignored) -> None:

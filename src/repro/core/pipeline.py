@@ -47,35 +47,57 @@ def _use_shm(transport: str, backend: str, workers, n_items: int) -> bool:
 
 
 def _classify_one(payload) -> np.ndarray:
-    classifier, volume = payload
-    return classifier.classify(volume)
+    classifier, volume, opts = payload
+    return classifier.classify(volume, **opts)
 
 
 def _classify_one_shm(payload) -> np.ndarray:
-    classifier, handle = payload
+    classifier, handle, opts = payload
     with OpenSharedVolume(handle) as volume:
-        return classifier.classify(volume)
+        return classifier.classify(volume, **opts)
 
 
 def classify_sequence(classifier: DataSpaceClassifier, sequence: VolumeSequence,
                       workers: int | None = None, backend: str = "auto",
                       transport: str = "auto", retry=None,
-                      on_error: str = "raise") -> list[np.ndarray]:
+                      on_error: str = "raise", mode: str = "exact",
+                      prune: bool = False, cache=None) -> list[np.ndarray]:
     """Classify every step of a sequence, optionally in parallel.
 
     The classifier is a few kilobytes of weights and rides in every task;
     the voxels travel by ``transport`` — shared memory when the map fans
     out (each worker sees only its own step, the cluster deployment
     pattern of Sec. 8, without re-pickling the volume per task).
+
+    ``mode``/``prune`` forward to :meth:`DataSpaceClassifier.classify`.
+    ``cache`` enables temporal-coherence reuse across steps: pass ``True``
+    for a fresh :class:`~repro.core.fastclassify.TemporalCoherenceCache`
+    or an existing instance to keep warm state between calls.  The cache
+    is in-process state, so it forces the serial backend — bricks classified
+    at step *t* must be visible when step *t+1* runs; requesting
+    ``backend="process"`` together with a cache is an error.
     """
-    with get_metrics().span("pipeline.classify_sequence", steps=len(sequence)):
+    if cache is True:
+        from repro.core.fastclassify import TemporalCoherenceCache
+        cache = TemporalCoherenceCache()
+    if cache is not None:
+        if backend == "process":
+            raise ValueError(
+                "cache requires in-process execution (its hit state cannot "
+                "be shared across worker processes); use backend='serial' "
+                "or 'auto'")
+        backend = "serial"
+    opts = {"mode": mode, "prune": prune, "cache": cache}
+    with get_metrics().span("pipeline.classify_sequence", steps=len(sequence),
+                            mode=mode, prune=bool(prune),
+                            cached=cache is not None):
         if _use_shm(transport, backend, workers, len(sequence)):
             with SharedVolumeArena() as arena:
-                payloads = [(classifier, arena.share(vol)) for vol in sequence]
+                payloads = [(classifier, arena.share(vol), opts) for vol in sequence]
                 outcome = map_timesteps(_classify_one_shm, payloads, workers=workers,
                                         backend=backend, retry=retry, on_error=on_error)
         else:
-            payloads = [(classifier, vol) for vol in sequence]
+            payloads = [(classifier, vol, opts) for vol in sequence]
             outcome = map_timesteps(_classify_one, payloads, workers=workers,
                                     backend=backend, retry=retry, on_error=on_error)
     return outcome.results

@@ -168,6 +168,17 @@ class MetricsRegistry:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    def counter_values(self, prefix: str = "") -> dict[str, int]:
+        """Current value of every counter whose name starts with ``prefix``.
+
+        Convenience for call sites that report one subsystem's counters
+        (e.g. ``classify.*`` cache-hit and block-prune counts) without
+        walking the full :meth:`snapshot`.
+        """
+        with self._lock:
+            return {n: c.value for n, c in self._counters.items()
+                    if n.startswith(prefix)}
+
     def snapshot(self) -> dict:
         """JSON-serializable dump of every counter and timer."""
         with self._lock:

@@ -16,7 +16,14 @@ The paper's large-data story has two halves this package reproduces:
   ghost-padded bricks for streaming.
 """
 
-from repro.parallel.bricking import Brick, assemble_bricks, iter_bricks, split_bricks
+from repro.parallel.bricking import (
+    Brick,
+    assemble_bricks,
+    axis_chunks,
+    content_digest,
+    iter_bricks,
+    split_bricks,
+)
 from repro.parallel.executor import (
     MapResult,
     RetryPolicy,
@@ -49,6 +56,8 @@ __all__ = [
     "TaskFailure",
     "TimestepExecutor",
     "assemble_bricks",
+    "axis_chunks",
+    "content_digest",
     "iter_bricks",
     "map_timesteps",
     "parse_fault_spec",

@@ -10,11 +10,30 @@ volume has them, and :func:`assemble_bricks` writes back only the interior.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.utils.validation import check_shape3d
+
+
+def content_digest(*arrays) -> str:
+    """Stable hex digest of array contents (shape, dtype, and bytes).
+
+    The temporal-coherence classification cache keys bricks by *content*:
+    two bricks with identical voxels (and identical shape/dtype) hash
+    equal regardless of which volume or time step they came from, so
+    unchanged regions across re-classification or consecutive steps are
+    recognized without storing the voxels themselves.  blake2b at 16
+    bytes keeps collisions out of reach for any realistic brick count.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        h.update(repr((a.shape, a.dtype.str)).encode())
+        h.update(a.data)
+    return h.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -40,10 +59,22 @@ class Brick:
         """Shape of the interior region this brick owns."""
         return tuple(s.stop - s.start for s in self.position)
 
+    @property
+    def digest(self) -> str:
+        """Content digest of the padded brick data (see :func:`content_digest`)."""
+        return content_digest(self.data)
 
-def _axis_chunks(n: int, brick_size: int):
-    starts = list(range(0, n, brick_size))
-    return [(s, min(s + brick_size, n)) for s in starts]
+
+def axis_chunks(n: int, brick_size: int) -> list[tuple[int, int]]:
+    """``(start, stop)`` intervals of width ``brick_size`` covering ``[0, n)``.
+
+    The last interval shrinks to fit.  Shared by the brick splitter and
+    the fast classifier's block-pruning/caching grid so both decompose a
+    volume identically.
+    """
+    if brick_size < 1:
+        raise ValueError(f"brick_size must be >= 1, got {brick_size}")
+    return [(s, min(s + brick_size, n)) for s in range(0, n, brick_size)]
 
 
 def split_bricks(volume: np.ndarray, brick_shape, ghost: int = 0) -> list[Brick]:
@@ -61,9 +92,9 @@ def split_bricks(volume: np.ndarray, brick_shape, ghost: int = 0) -> list[Brick]
         raise ValueError(f"ghost must be non-negative, got {ghost}")
     nz, ny, nx = volume.shape
     bricks: list[Brick] = []
-    for z0, z1 in _axis_chunks(nz, bz):
-        for y0, y1 in _axis_chunks(ny, by):
-            for x0, x1 in _axis_chunks(nx, bx):
+    for z0, z1 in axis_chunks(nz, bz):
+        for y0, y1 in axis_chunks(ny, by):
+            for x0, x1 in axis_chunks(nx, bx):
                 gz0, gz1 = max(0, z0 - ghost), min(nz, z1 + ghost)
                 gy0, gy1 = max(0, y0 - ghost), min(ny, y1 + ghost)
                 gx0, gx1 = max(0, x0 - ghost), min(nx, x1 + ghost)

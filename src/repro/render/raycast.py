@@ -39,6 +39,54 @@ def _sample(field: np.ndarray, coords: np.ndarray) -> np.ndarray:
     )
 
 
+def _sample_channels(stack: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    """Trilinear-sample every channel of a ``(nz, ny, nx, C)`` stack at once.
+
+    One fused pass replaces C separate :func:`_sample` calls: the eight
+    corner flat-indices and weights are computed once per shell, and each
+    corner's :func:`numpy.take` pulls all C channel values from adjacent
+    memory (channels-last keeps them on one cache line — a channels-first
+    gather was measured slower than the unfused baseline).  Semantics
+    match ``map_coordinates(order=1, mode="constant", cval=0.0)``: a
+    coordinate anywhere outside ``[0, n-1]`` on any axis yields exactly
+    ``cval`` (scipy's ``constant`` mode does *not* interpolate into the
+    boundary band the way ``grid-constant`` does), so the whole sample is
+    zeroed by the ``inside`` mask and corner indices only need clipping
+    to stay legal.  Returns ``(len(coords), C)`` float32.
+    """
+    nz, ny, nx, n_channels = stack.shape
+    z, y, x = coords[:, 0], coords[:, 1], coords[:, 2]
+    inside = ((z >= 0) & (z <= nz - 1) & (y >= 0) & (y <= ny - 1)
+              & (x >= 0) & (x <= nx - 1))
+    z0f, y0f, x0f = np.floor(z), np.floor(y), np.floor(x)
+    fz = (z - z0f).astype(np.float32)
+    fy = (y - y0f).astype(np.float32)
+    fx = (x - x0f).astype(np.float32)
+    z0 = np.clip(z0f.astype(np.intp), 0, nz - 1)
+    y0 = np.clip(y0f.astype(np.intp), 0, ny - 1)
+    x0 = np.clip(x0f.astype(np.intp), 0, nx - 1)
+    # Per-point strides to the +1 corner: zero where that corner would
+    # exceed the grid, which only happens when its fractional weight is
+    # already zero (coord exactly n-1) or the point is outside.
+    dz = np.minimum(z0 + 1, nz - 1) - z0
+    dz *= ny * nx
+    dy = np.minimum(y0 + 1, ny - 1) - y0
+    dy *= nx
+    dx = np.minimum(x0 + 1, nx - 1) - x0
+    i000 = (z0 * ny + y0) * nx + x0
+    flat = stack.reshape(-1, n_channels)
+    out = np.zeros((len(coords), n_channels), dtype=np.float32)
+    corner = np.empty_like(out)
+    for iz, wz in ((i000, 1.0 - fz), (i000 + dz, fz)):
+        for izy, wzy in ((iz, wz * (1.0 - fy)), (iz + dy, wz * fy)):
+            for idx, w in ((izy, wzy * (1.0 - fx)), (izy + dx, wzy * fx)):
+                np.take(flat, idx, axis=0, out=corner)
+                corner *= w[:, None]
+                out += corner
+    out *= inside[:, None]
+    return out
+
+
 def _composite_shells(
     n_pixels: int,
     origins: np.ndarray,
@@ -112,13 +160,14 @@ def render_volume(
     n_pixels = camera.height * camera.width
 
     if shading:
-        gz, gy, gx = np.gradient(data.astype(np.float32, copy=False))
-        grads = (gz, gy, gx)
+        grad_stack = np.ascontiguousarray(
+            np.stack(np.gradient(data.astype(np.float32, copy=False)), axis=-1)
+        )
         forward, _, _ = camera.basis()
         to_viewer = (-forward).astype(np.float32)
 
         def shade_fn(rgb, coords, active):
-            g = np.stack([_sample(gc, coords) for gc in grads], axis=-1)
+            g = _sample_channels(grad_stack, coords)
             return phong_shade(rgb, g, light_dir=to_viewer, view_dir=to_viewer)
 
     else:
@@ -163,28 +212,29 @@ def render_rgba_volume(
     shape3 = rgba_volume.shape[:3]
     origins, directions, n_samples = camera.ray_grid(shape3, step=step)
     n_pixels = camera.height * camera.width
-    channels = [np.ascontiguousarray(rgba_volume[..., c]) for c in range(4)]
+    # The RGBA volume is already channels-last: one fused gather serves
+    # all four channels per shell (was: four independent map_coordinates
+    # calls per shell, each recomputing the corner weights).
+    channel_stack = np.ascontiguousarray(rgba_volume)
 
     if shading_field is not None:
         field = np.asarray(shading_field, dtype=np.float32)
         if field.shape != shape3:
             raise ValueError("shading_field shape must match the RGBA volume grid")
-        gz, gy, gx = np.gradient(field)
-        grads = (gz, gy, gx)
+        grad_stack = np.ascontiguousarray(np.stack(np.gradient(field), axis=-1))
         forward, _, _ = camera.basis()
         to_viewer = (-forward).astype(np.float32)
 
         def shade_fn(rgb, coords, active):
-            g = np.stack([_sample(gc, coords) for gc in grads], axis=-1)
+            g = _sample_channels(grad_stack, coords)
             return phong_shade(rgb, g, light_dir=to_viewer, view_dir=to_viewer)
 
     else:
         shade_fn = None
 
     def sample_rgba(coords, active):
-        rgb = np.stack([_sample(channels[c], coords) for c in range(3)], axis=-1)
-        alpha = _sample(channels[3], coords)
-        return rgb.astype(np.float32), np.clip(alpha, 0.0, 1.0).astype(np.float32)
+        samples = _sample_channels(channel_stack, coords)
+        return samples[:, :3], np.clip(samples[:, 3], 0.0, 1.0)
 
     with get_metrics().span("render.rgba_volume", pixels=n_pixels, samples=n_samples):
         accum_rgb, accum_a = _composite_shells(

@@ -1,0 +1,365 @@
+"""The fast classification path: correctness against the float64 reference.
+
+Four properties are on trial:
+
+1. **Padded-view extraction is exact** — the edge-padded strided views
+   must reproduce ``features_at``'s clipped gathers element-for-element,
+   including at volume edges and corners, for every radius and direction
+   set, for both extractor families.
+2. **Fused float32 inference tracks the exact path** — |Δcertainty| stays
+   ≤ 1e-3 across every synthetic generator.
+3. **Interval pruning is conservative** — a pruned block's *exact*
+   certainties are provably below the extraction threshold, so the
+   0.5-mask agrees exactly; ``interval_forward`` itself must bracket the
+   network output for arbitrary (adversarial) boxes.
+4. **The temporal cache only returns what inference would compute** —
+   hits replay bit-for-bit, context changes (weights, time feature) miss,
+   and hit/miss counts surface through the obs layer.
+
+The per-shell fused RGBA sampler of :mod:`repro.render.raycast` is
+verified against ``map_coordinates`` here too (same PR, same
+"fused gather must match the reference" obligation).
+"""
+
+import json
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.core import (
+    DataSpaceClassifier,
+    FastVolumeClassifier,
+    MultivariateShellExtractor,
+    ShellFeatureExtractor,
+    TemporalCoherenceCache,
+    classify_sequence,
+    fast_feature_matrix,
+)
+from repro.core.mlp import NeuralNetwork, interval_forward
+from repro.obs import get_metrics
+from repro.render.raycast import _sample_channels
+from repro.volume.grid import Volume, VolumeSequence
+from repro.volume.multivariate import MultiVolume
+
+GENERATOR_FIXTURES = ["argon_small", "combustion_small", "cosmology_small",
+                      "vortex_small", "swirl_small"]
+
+
+def _all_coords(shape):
+    return np.stack(np.unravel_index(np.arange(int(np.prod(shape))), shape),
+                    axis=1)
+
+
+def _paint_masks(vol, rng, pos_pct=99.0, neg_pct=60.0):
+    """Oracle paint strokes: brightest voxels positive, dim sample negative."""
+    data = vol.data
+    pos = data > np.percentile(data, pos_pct)
+    neg = (data < np.percentile(data, neg_pct)) & (rng.random(data.shape) < 0.01)
+    return pos, neg
+
+
+def _train_classifier(vol, radius=2, seed=5, epochs=120, **extractor_kwargs):
+    clf = DataSpaceClassifier(
+        ShellFeatureExtractor(radius=radius, **extractor_kwargs), seed=seed)
+    pos, neg = _paint_masks(vol, np.random.default_rng(seed))
+    clf.add_examples(vol, positive_mask=pos, negative_mask=neg)
+    clf.train(epochs=epochs)
+    return clf
+
+
+@pytest.fixture(scope="module")
+def trained_cosmology(cosmology_small):
+    return _train_classifier(cosmology_small[0])
+
+
+# --------------------------------------------------------------------- #
+# 1. Padded-view extraction == features_at, everywhere
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("directions", ["faces", "faces+corners"])
+@pytest.mark.parametrize("radius", [1, 2, 3, 4])
+def test_padded_views_match_features_at(radius, directions):
+    """Edge padding must equal the reference path's np.clip clamping at
+    every voxel — edges and corners of a non-cubic grid included."""
+    rng = np.random.default_rng(radius * 10 + len(directions))
+    vol = Volume(rng.random((9, 8, 7)).astype(np.float32), time=42)
+    ex = ShellFeatureExtractor(radius=radius, directions=directions)
+    ref = ex.features_at(vol, _all_coords(vol.shape), time=42.0).astype(np.float32)
+    fast = fast_feature_matrix(ex, vol, time=42.0)
+    assert np.array_equal(ref, fast)
+
+
+@pytest.mark.parametrize("include_position,include_time,sort_shell",
+                         [(False, False, True), (True, False, False),
+                          (False, True, True)])
+def test_padded_views_match_feature_flags(include_position, include_time,
+                                          sort_shell):
+    rng = np.random.default_rng(3)
+    vol = Volume(rng.random((6, 7, 8)).astype(np.float32), time=9)
+    ex = ShellFeatureExtractor(radius=2, include_position=include_position,
+                               include_time=include_time, sort_shell=sort_shell)
+    ref = ex.features_at(vol, _all_coords(vol.shape), time=9.0).astype(np.float32)
+    assert np.array_equal(ref, fast_feature_matrix(ex, vol, time=9.0))
+
+
+def test_multivariate_padded_views_match():
+    rng = np.random.default_rng(8)
+    mv = MultiVolume({"a": rng.random((7, 6, 9)).astype(np.float32),
+                      "b": rng.random((7, 6, 9)).astype(np.float32)}, time=3)
+    ex = MultivariateShellExtractor(["a", "b"], radius=2)
+    ref = ex.features_at(mv, _all_coords(mv.shape), time=3.0).astype(np.float32)
+    assert np.array_equal(ref, fast_feature_matrix(ex, mv, time=3.0))
+
+
+def test_features_at_shell_is_descending():
+    """Satellite regression: the in-place-sort + reversed-view rewrite must
+    still hand the network descending shell samples."""
+    rng = np.random.default_rng(0)
+    vol = Volume(rng.random((8, 8, 8)).astype(np.float32))
+    ex = ShellFeatureExtractor(radius=2)
+    feats = ex.features_at(vol, _all_coords(vol.shape))
+    shell = feats[:, 1 : 1 + ex.n_shell]
+    assert (np.diff(shell, axis=1) <= 0).all()
+    unsorted = ShellFeatureExtractor(radius=2, sort_shell=False)
+    raw = unsorted.features_at(vol, _all_coords(vol.shape))[:, 1 : 1 + ex.n_shell]
+    assert np.array_equal(shell, -np.sort(-raw, axis=1))
+
+
+# --------------------------------------------------------------------- #
+# 2. Fused inference tracks the exact path on every generator
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("fixture", GENERATOR_FIXTURES)
+def test_fast_matches_exact_on_generators(fixture, request):
+    sequence = request.getfixturevalue(fixture)
+    vol = sequence[0]
+    clf = _train_classifier(vol, epochs=80)
+    exact = clf.classify(vol, mode="exact")
+    fast = clf.classify(vol, mode="fast")
+    assert fast.dtype == np.float32
+    assert float(np.abs(fast - exact).max()) <= 1e-3
+
+
+def test_multivariate_composes_with_fast_path():
+    rng = np.random.default_rng(5)
+    fields = {"a": rng.random((16, 16, 16)).astype(np.float32),
+              "b": rng.random((16, 16, 16)).astype(np.float32)}
+    mv = MultiVolume(fields, time=2)
+    clf = DataSpaceClassifier(MultivariateShellExtractor(["a", "b"], radius=2),
+                              seed=4)
+    pos = (fields["a"] > 0.9) & (fields["b"] > 0.5)
+    neg = (fields["a"] < 0.5) & (rng.random(fields["a"].shape) < 0.05)
+    clf.add_examples(mv, positive_mask=pos, negative_mask=neg)
+    clf.train(epochs=80)
+    exact = clf.classify(mv, mode="exact")
+    fast = clf.classify(mv, mode="fast")
+    assert float(np.abs(fast - exact).max()) <= 1e-3
+
+
+def test_auto_mode_and_gating():
+    rng = np.random.default_rng(2)
+    vol = Volume(rng.random((12, 12, 12)).astype(np.float32))
+    clf = DataSpaceClassifier(ShellFeatureExtractor(radius=1), engine="svm")
+    pos, neg = _paint_masks(vol, rng)
+    clf.add_examples(vol, positive_mask=pos, negative_mask=neg)
+    clf.train()
+    ok, reason = clf.supports_fast_path()
+    assert not ok and "neural network" in reason
+    with pytest.raises(ValueError, match="fast classification path unavailable"):
+        clf.classify(vol, mode="fast")
+    # auto degrades to the exact path instead of raising
+    assert clf.classify(vol, mode="auto").shape == vol.shape
+
+    untrained = DataSpaceClassifier(ShellFeatureExtractor(radius=1))
+    ok, reason = untrained.supports_fast_path()
+    assert not ok and "untrained" in reason
+    with pytest.raises(ValueError):
+        untrained.classify(vol, mode="fast")
+
+    trained = _train_classifier(vol, radius=1, epochs=30)
+    with pytest.raises(ValueError, match="require the fast"):
+        trained.classify(vol, mode="exact", prune=True)
+    with pytest.raises(ValueError, match="unknown mode"):
+        trained.classify(vol, mode="warp")
+
+
+# --------------------------------------------------------------------- #
+# 3. Interval pruning is conservative
+# --------------------------------------------------------------------- #
+def test_interval_forward_brackets_network_adversarially():
+    """For random (adversarial) weights and boxes, every point inside the
+    box must score inside the certified interval."""
+    rng = np.random.default_rng(7)
+    for trial in range(20):
+        d, h = int(rng.integers(2, 9)), int(rng.integers(2, 12))
+        w1 = rng.normal(scale=2.0, size=(h, d))
+        b1 = rng.normal(scale=1.0, size=h)
+        w2 = rng.normal(scale=2.0, size=(1, h))
+        b2 = rng.normal(scale=1.0, size=1)
+        lo = rng.normal(scale=3.0, size=d)
+        hi = lo + rng.exponential(scale=2.0, size=d)
+        c_lo, c_hi = interval_forward(w1, b1, w2, b2, lo, hi)
+        pts = rng.uniform(lo, hi, size=(200, d))
+        z = np.tanh(pts @ w1.T + b1) @ w2[0] + b2[0]
+        cert = 1.0 / (1.0 + np.exp(-z))
+        assert (cert >= c_lo - 1e-12).all() and (cert <= c_hi + 1e-12).all()
+    # degenerate box (lo == hi) collapses to a point evaluation
+    x = rng.normal(size=4)
+    w1 = rng.normal(size=(3, 4)); b1 = rng.normal(size=3)
+    w2 = rng.normal(size=(1, 3)); b2 = rng.normal(size=1)
+    c_lo, c_hi = interval_forward(w1, b1, w2, b2, x, x)
+    assert np.isclose(c_lo, c_hi)
+    with pytest.raises(ValueError):
+        interval_forward(w1, b1, w2, b2, x, x - 1.0)
+
+
+def test_certainty_bounds_bracket_exact_predictions(trained_cosmology,
+                                                    cosmology_small):
+    clf = trained_cosmology
+    vol = cosmology_small[0]
+    feats = fast_feature_matrix(clf.extractor, vol,
+                                time=float(vol.time)).astype(np.float64)
+    rng = np.random.default_rng(1)
+    rows = feats[rng.choice(len(feats), size=512, replace=False)]
+    lo, hi = rows.min(axis=0), rows.max(axis=0)
+    c_lo, c_hi = clf.engine.net.certainty_bounds(lo, hi)
+    cert = clf.engine.net.predict(rows)
+    assert (cert >= c_lo - 1e-9).all() and (cert <= c_hi + 1e-9).all()
+
+
+def test_prune_is_conservative():
+    """Every pruned block's exact certainties sit below the threshold, the
+    0.5 decision mask agrees exactly, and the workload genuinely
+    exercises both branches (some blocks pruned, some classified).
+
+    The volume is one bright blob over a quiet background: background
+    blocks have tight value/shell intervals (certifiably cold), blob
+    blocks do not."""
+    rng = np.random.default_rng(13)
+    data = rng.uniform(0.02, 0.08, size=(32, 32, 32)).astype(np.float32)
+    zz, yy, xx = np.mgrid[0:32, 0:32, 0:32]
+    blob = np.exp(-((zz - 8) ** 2 + (yy - 8) ** 2 + (xx - 8) ** 2) / 18.0)
+    data += blob.astype(np.float32)
+    vol = Volume(data, time=1)
+    clf = _train_classifier(vol, epochs=150)
+    exact = clf.classify(vol, mode="exact")
+    pruned = clf.classify(vol, mode="fast", prune=True, block_shape=(8, 8, 8))
+    stats = clf.last_fast_stats
+    assert 0 < stats["blocks_pruned"] < stats["blocks_total"]
+    assert len(stats["pruned_blocks"]) == stats["blocks_pruned"]
+    for z0, z1, y0, y1, x0, x1 in stats["pruned_blocks"]:
+        assert float(exact[z0:z1, y0:y1, x0:x1].max()) < 0.5
+        # the fill value is the certified upper bound, itself sub-threshold
+        assert float(pruned[z0:z1, y0:y1, x0:x1].max()) < 0.5
+    assert ((pruned > 0.5) == (exact > 0.5)).all()
+
+
+# --------------------------------------------------------------------- #
+# 4. Temporal-coherence cache
+# --------------------------------------------------------------------- #
+def test_cache_replay_is_bitwise(trained_cosmology, cosmology_small):
+    clf = trained_cosmology
+    vol = cosmology_small[0]
+    cache = TemporalCoherenceCache()
+    first = clf.classify(vol, mode="fast", cache=cache, block_shape=(16, 16, 16))
+    assert cache.hits == 0 and cache.misses == clf.last_fast_stats["blocks_total"]
+    second = clf.classify(vol, mode="fast", cache=cache, block_shape=(16, 16, 16))
+    assert cache.hits == clf.last_fast_stats["blocks_total"]
+    assert np.array_equal(first, second)
+    # and the cache replay equals a cacheless fast run bit-for-bit
+    assert np.array_equal(second, clf.classify(vol, mode="fast"))
+
+
+def test_cache_misses_when_context_changes(cosmology_small):
+    vol = cosmology_small[0]
+    clf = _train_classifier(vol)  # include_time=True by default
+    cache = TemporalCoherenceCache()
+    clf.classify(vol, mode="fast", cache=cache, time=130.0)
+    hits_before = cache.hits
+    # same voxels, different time feature: every block must miss
+    clf.classify(vol, mode="fast", cache=cache, time=250.0)
+    assert cache.hits == hits_before
+    # retrained weights: every block must miss too
+    clf2 = _train_classifier(vol, seed=99)
+    clf2.classify(vol, mode="fast", cache=cache, time=130.0)
+    assert cache.hits == hits_before
+
+
+def test_cache_lru_eviction():
+    cache = TemporalCoherenceCache(max_entries=2)
+    a, b, c = (np.zeros(1, dtype=np.float32),) * 3
+    cache.put("a", a), cache.put("b", b), cache.put("c", c)
+    assert len(cache) == 2
+    assert cache.get("a") is None           # evicted
+    assert cache.get("c") is not None
+    with pytest.raises(ValueError):
+        TemporalCoherenceCache(max_entries=0)
+
+
+def test_classify_sequence_temporal_cache(tmp_path):
+    """Replayed steady bricks across steps hit the cache, the counters
+    surface through the obs sink, and backend='process' is refused."""
+    rng = np.random.default_rng(6)
+    base = rng.random((16, 16, 16)).astype(np.float32)
+    # Steps share identical voxels (a steady region between outputs —
+    # the temporal-coherence case); the extractor carries no time
+    # feature, so the brick keys match across steps.
+    seq = VolumeSequence([Volume(base.copy(), time=t) for t in (0, 1, 2)])
+    clf = DataSpaceClassifier(
+        ShellFeatureExtractor(radius=2, include_time=False), seed=3)
+    pos, neg = _paint_masks(seq[0], rng)
+    clf.add_examples(seq[0], positive_mask=pos, negative_mask=neg)
+    clf.train(epochs=60)
+
+    metrics = get_metrics()
+    metrics.reset()
+    sink = tmp_path / "trace.jsonl"
+    metrics.configure_sink(sink)
+    try:
+        cache = TemporalCoherenceCache()
+        results = classify_sequence(clf, seq, mode="fast", cache=cache)
+        assert cache.hits >= 1  # steps 2 and 3 replay step 1's bricks
+        counters = metrics.counter_values("classify.")
+        assert counters["classify.cache_hits"] == cache.hits
+        assert counters["classify.cache_misses"] == cache.misses
+        assert counters["classify.voxels"] == 3 * base.size
+        for a, b in zip(results[1:], results[:-1]):
+            assert np.array_equal(a, b)
+        spans = [json.loads(line) for line in sink.read_text().splitlines()]
+        classify_spans = [s for s in spans if s["name"] == "dataspace.classify"]
+        assert len(classify_spans) == 3
+        assert sum(s["attrs"]["cache_hits"] for s in classify_spans) == cache.hits
+        assert all(s["attrs"]["cached"] for s in classify_spans)
+    finally:
+        metrics.configure_sink(None)
+        metrics.reset()
+
+    with pytest.raises(ValueError, match="in-process"):
+        classify_sequence(clf, seq, mode="fast", cache=cache,
+                          backend="process", workers=2)
+    # cache=True builds a fresh cache internally
+    fresh = classify_sequence(clf, seq, mode="fast", cache=True)
+    assert all(np.array_equal(r, results[0]) for r in fresh)
+
+
+# --------------------------------------------------------------------- #
+# Fused RGBA sampler (render fast path, same PR)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("n_channels", [3, 4])
+def test_sample_channels_matches_map_coordinates(n_channels):
+    rng = np.random.default_rng(11)
+    stack = rng.random((9, 11, 7, n_channels)).astype(np.float32)
+    coords = np.concatenate([
+        rng.uniform(-2.0, 13.0, size=(400, 3)),       # includes out-of-bounds
+        np.array([[0.0, 0.0, 0.0], [8.0, 10.0, 6.0],  # exact corners
+                  [8.0, 0.0, 6.0], [4.0, 10.0, 3.0],
+                  [-1e-9, 0.0, 0.0], [8.0, 10.0, 6.0 + 1e-7]]),
+    ])
+    ref = np.stack([
+        ndimage.map_coordinates(np.ascontiguousarray(stack[..., c]), coords.T,
+                                order=1, mode="constant", cval=0.0,
+                                prefilter=False)
+        for c in range(n_channels)
+    ], axis=-1)
+    got = _sample_channels(stack, coords)
+    assert got.shape == (len(coords), n_channels)
+    assert np.allclose(ref, got, atol=1e-6)
