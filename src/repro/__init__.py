@@ -25,6 +25,7 @@ from repro.core import (
     KeyFrame,
     NeuralNetwork,
     ShellFeatureExtractor,
+    StreamingTrackResult,
     TrackResult,
     TrainingSet,
     classify_sequence,
@@ -77,6 +78,7 @@ __all__ = [
     "Oracle",
     "PaintStroke",
     "ShellFeatureExtractor",
+    "StreamingTrackResult",
     "TrackResult",
     "TrainingSet",
     "TransferFunction1D",

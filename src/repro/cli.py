@@ -253,23 +253,50 @@ def cmd_render(args) -> int:
 
 
 def cmd_track(args) -> int:
-    """Track a feature (fixed range or adaptive IATF criterion)."""
-    sequence = load_sequence(args.seqdir)
-    tracker = FeatureTracker(opacity_threshold=args.opacity_threshold)
+    """Track a feature (fixed range or adaptive IATF criterion).
+
+    ``--streaming`` consumes the sequence directory one step at a time
+    (peak memory independent of the step count); ``--engine bricked``
+    grows via brick-decomposed labeling, optionally fanned across
+    ``--workers`` processes with ``--bricks``-sized bricks.
+    """
+    tracker = FeatureTracker(
+        opacity_threshold=args.opacity_threshold,
+        engine=args.engine,
+        brick_shape=tuple(args.bricks) if args.bricks else None,
+        workers=args.workers if args.workers > 1 else None,
+    )
     seed = tuple(args.seed_voxel)
+    iatf = None
     if args.iatf:
         iatf = AdaptiveTransferFunction.from_dict(json.loads(Path(args.iatf).read_text()))
-        result = tracker.track_adaptive(sequence, seed, iatf)
+    elif not args.range:
+        raise SystemExit("either --iatf or --range LO HI is required")
+    if args.streaming:
+        if iatf is not None:
+            result = tracker.track_streaming(args.seqdir, seed, iatf=iatf,
+                                             refine=not args.no_refine)
+        else:
+            result = tracker.track_streaming(args.seqdir, seed,
+                                             lo=args.range[0], hi=args.range[1],
+                                             refine=not args.no_refine)
+        print(f"streaming: {len(result.times)} steps, {result.sweeps} sweep(s)")
     else:
-        if not args.range:
-            raise SystemExit("either --iatf or --range LO HI is required")
-        result = tracker.track_fixed(sequence, seed, args.range[0], args.range[1])
+        sequence = load_sequence(args.seqdir)
+        if iatf is not None:
+            result = tracker.track_adaptive(sequence, seed, iatf)
+        else:
+            result = tracker.track_fixed(sequence, seed, args.range[0], args.range[1])
     print(f"criterion: {result.criterion}")
     print(f"{'step':>6} {'voxels':>8} {'components':>11}")
     for t, n, c in zip(result.times, result.voxel_counts, result.component_counts()):
         print(f"{t:>6} {n:>8} {c:>11}")
     events = [e for e in result.events if e.kind != "continuation"]
     print("events:", [(e.kind, f"{e.time_a}->{e.time_b}") for e in events] or "none")
+    counters = get_metrics().counter_values("fastgrow.")
+    counters.update(get_metrics().counter_values("track."))
+    if counters:
+        print("counters: " + "  ".join(f"{k}={v}" for k, v in sorted(counters.items())))
     if args.out:
         out = Path(args.out)
         out.parent.mkdir(parents=True, exist_ok=True)
@@ -386,6 +413,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--range", type=float, nargs=2, metavar=("LO", "HI"))
     p.add_argument("--iatf", help="saved IATF json for adaptive tracking")
     p.add_argument("--opacity-threshold", type=float, default=0.1)
+    p.add_argument("--streaming", action="store_true",
+                   help="consume the sequence one step at a time (peak "
+                        "memory independent of the step count)")
+    p.add_argument("--no-refine", action="store_true",
+                   help="skip the streaming path's forward/backward "
+                        "refinement sweeps (single forward pass)")
+    p.add_argument("--engine", choices=["scipy", "bricked"], default="scipy",
+                   help="growth engine: serial scipy propagation, or "
+                        "brick-decomposed labeling with union-find merge")
+    p.add_argument("--bricks", type=int, nargs=3, metavar=("BZ", "BY", "BX"),
+                   help="spatial brick interior for --engine bricked")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-parallel per-brick labeling (bricked engine)")
     p.add_argument("--out", help="save tracked masks as .npy")
     p.set_defaults(func=cmd_track)
     return parser

@@ -12,6 +12,9 @@ fourth dimension is time"* (Sec. 5).
   per-feature attributes (volume, centroid, bounding box, mass).
 - :mod:`repro.segmentation.events` — step-to-step overlap graph classified
   into continuation / split / merge / birth / death events.
+- :mod:`repro.segmentation.fastgrow` — brick-parallel labeling and region
+  growing with union-find seam merging, plus a sparse voxel-graph strategy
+  for near-empty criteria (exact, schedule-independent).
 """
 
 from repro.segmentation.components import (
@@ -20,6 +23,14 @@ from repro.segmentation.components import (
     label_components,
 )
 from repro.segmentation.events import TrackEvent, detect_events, overlap_graph, track_timeline
+from repro.segmentation.fastgrow import (
+    UnionFind,
+    canonicalize_labels,
+    grow_bricked,
+    grow_sparse,
+    label_bricked,
+    label_sparse,
+)
 from repro.segmentation.lineage import FeatureLineage, FeatureNode
 from repro.segmentation.octree import OctreeMask, encode_tracked_masks
 from repro.segmentation.prediction import PredictionTrackResult, PredictionVerificationTracker
@@ -33,11 +44,17 @@ __all__ = [
     "PredictionTrackResult",
     "PredictionVerificationTracker",
     "TrackEvent",
+    "UnionFind",
+    "canonicalize_labels",
     "detect_events",
     "encode_tracked_masks",
     "feature_attributes",
     "grow_4d",
+    "grow_bricked",
     "grow_region",
+    "grow_sparse",
+    "label_bricked",
+    "label_sparse",
     "label_components",
     "overlap_graph",
     "track_timeline",

@@ -8,9 +8,14 @@ criterion as an already-evaluated boolean mask — the caller brings a
 transfer function, an adaptive IATF, or a neural-network classification;
 the grower is agnostic.
 
-Two backends:
+Three backends:
 
-- ``"scipy"`` — :func:`scipy.ndimage.binary_propagation`, the fast path;
+- ``"scipy"`` — :func:`scipy.ndimage.binary_propagation`, the serial
+  reference (iterated dilation, O(region diameter) array sweeps);
+- ``"bricked"`` — :func:`repro.segmentation.fastgrow.grow_bricked`:
+  label bricks independently, merge with union-find, select the seeded
+  components — exact, one labeling pass instead of diameter-many
+  sweeps, optionally brick-parallel;
 - ``"frontier"`` — an in-repo vectorized breadth-first frontier expansion
   (pure numpy slicing, no wraparound), used as an independent
   cross-check in the test suite and as a fallback.
@@ -104,7 +109,9 @@ def grow_region(criterion, seeds, connectivity: int = 1, backend: str = "scipy")
         1 = face neighbours (the paper's flood fill), up to ``ndim`` for
         full neighbourhoods.
     backend:
-        ``"scipy"`` (default) or ``"frontier"`` (in-repo BFS).
+        ``"scipy"`` (default), ``"bricked"`` (label-and-select, see
+        :mod:`repro.segmentation.fastgrow`), or ``"frontier"`` (in-repo
+        BFS).
 
     Returns
     -------
@@ -114,12 +121,18 @@ def grow_region(criterion, seeds, connectivity: int = 1, backend: str = "scipy")
     seed_mask = _seeds_to_mask(seeds, criterion.shape)
     if backend == "frontier":
         return _grow_frontier(criterion, seed_mask, connectivity)
+    if backend == "bricked":
+        from repro.segmentation.fastgrow import grow_bricked
+
+        return grow_bricked(criterion, seed_mask, connectivity=connectivity)
     if backend == "scipy":
         structure = _structure(criterion.ndim, connectivity)
         return ndimage.binary_propagation(
             seed_mask & criterion, mask=criterion, structure=structure
         )
-    raise ValueError(f"unknown backend {backend!r}; expected 'scipy' or 'frontier'")
+    raise ValueError(
+        f"unknown backend {backend!r}; expected 'scipy', 'bricked' or 'frontier'"
+    )
 
 
 def grow_4d(criteria, seeds, time_connect: bool = True, connectivity: int = 1,
@@ -141,6 +154,17 @@ def grow_4d(criteria, seeds, time_connect: bool = True, connectivity: int = 1,
         adjacent steps — the temporal-overlap tracking assumption.  When
         False each step grows independently (degenerates to per-step 3D
         extraction, useful for ablation).
+
+    Memory
+    ------
+    This function materializes the **entire** 4D stack: the criteria
+    array plus the grown output are O(T · volume) resident at once, and
+    the ``"scipy"`` backend's propagation allocates further full-stack
+    scratch per sweep.  That is fine for the paper-scale experiments but
+    not for long production runs — use
+    :meth:`repro.core.tracking.FeatureTracker.track_streaming`, which
+    consumes one timestep at a time and keeps peak memory independent of
+    ``T`` while producing the identical tracked region.
 
     Returns
     -------

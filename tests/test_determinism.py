@@ -6,10 +6,12 @@ stochastic components.
 """
 
 import numpy as np
+from scipy import ndimage
 
 from repro import (
     AdaptiveTransferFunction,
     DataSpaceClassifier,
+    FeatureTracker,
     Oracle,
     ShellFeatureExtractor,
     TransferFunction1D,
@@ -19,6 +21,7 @@ from repro import (
     make_vortex_sequence,
 )
 from repro.data.argon import ring_value_band
+from repro.segmentation import grow_bricked, label_bricked
 
 
 class TestGeneratorDeterminism:
@@ -82,6 +85,24 @@ class TestTrainedModelDeterminism:
 
         assert np.array_equal(build(), build())
 
+    def test_streaming_track_reproducible(self):
+        """Two streaming runs of the same track are bit-identical — packed
+        masks, counts, events, and sweep count alike."""
+        seq = make_vortex_sequence(shape=(20, 20, 20), times=list(range(50, 71, 4)),
+                                   seed=31)
+        coords = np.argwhere(seq[0].mask("vortex"))
+        seed = (0, *(int(c) for c in coords[len(coords) // 2]))
+
+        def run():
+            return FeatureTracker().track_streaming(seq, seed, lo=0.5, hi=10.0)
+
+        a, b = run(), run()
+        assert a.sweeps == b.sweeps
+        assert a.voxel_counts == b.voxel_counts
+        for i in range(len(a.times)):
+            assert np.array_equal(a._packed[i], b._packed[i])
+        assert a.events == b.events
+
     def test_oracle_session_reproducible(self):
         seq = make_cosmology_sequence(shape=(20, 20, 20), times=[310], n_blobs=30)
 
@@ -95,3 +116,48 @@ class TestTrainedModelDeterminism:
             return sess.preview_volume()
 
         assert np.array_equal(run(), run())
+
+
+class TestScheduleIndependence:
+    """Parallel execution must never change a voxel: worker count and
+    chunksize are performance knobs, not semantics."""
+
+    @staticmethod
+    def _field(shape, seed):
+        rng = np.random.default_rng(seed)
+        return ndimage.uniform_filter(rng.random(shape), size=2) > 0.45
+
+    def test_label_bricked_schedule_independent(self):
+        mask = self._field((6, 14, 14, 14), 101)
+        ref, ref_count = label_bricked(mask, connectivity=2,
+                                       brick_shape=(1, 7, 7, 7))
+        for workers, chunksize in [(2, 1), (2, 4), (4, 2)]:
+            labels, count = label_bricked(
+                mask, connectivity=2, brick_shape=(1, 7, 7, 7),
+                workers=workers, backend="process", chunksize=chunksize,
+            )
+            assert count == ref_count
+            assert np.array_equal(labels, ref)
+
+    def test_grow_bricked_schedule_independent(self):
+        mask = self._field((5, 12, 12, 12), 202)
+        seed = tuple(int(c) for c in np.argwhere(mask)[0])
+        ref = grow_bricked(mask, [seed], brick_shape=(1, 6, 6, 6))
+        for workers, chunksize in [(2, 1), (3, 2)]:
+            got = grow_bricked(mask, [seed], brick_shape=(1, 6, 6, 6),
+                               workers=workers, backend="process",
+                               chunksize=chunksize)
+            assert np.array_equal(got, ref)
+
+    def test_streaming_with_parallel_engine_matches_serial(self):
+        seq = make_vortex_sequence(shape=(20, 20, 20),
+                                   times=list(range(50, 71, 4)), seed=31)
+        coords = np.argwhere(seq[0].mask("vortex"))
+        seed = (0, *(int(c) for c in coords[len(coords) // 2]))
+        serial = FeatureTracker().track_streaming(seq, seed, lo=0.5, hi=10.0)
+        parallel = FeatureTracker(
+            engine="bricked", brick_shape=(10, 10, 10), workers=2,
+        ).track_streaming(seq, seed, lo=0.5, hi=10.0)
+        assert parallel.voxel_counts == serial.voxel_counts
+        assert np.array_equal(parallel.masks, serial.masks)
+        assert parallel.events == serial.events
