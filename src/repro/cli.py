@@ -51,8 +51,20 @@ from repro.data import (
 )
 from repro.metrics import feature_retention
 from repro.render.camera import Camera
+from repro.render.raycast import ALPHA_CUTOFF
 from repro.transfer.tf1d import TransferFunction1D
 from repro.volume.io import load_sequence, save_sequence
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for counts that must be >= 1 (workers, tiles, cells)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {text!r}")
+    return value
 
 _GENERATORS = {
     "argon": make_argon_sequence,
@@ -238,16 +250,30 @@ def cmd_render(args) -> int:
         tf_for = lambda vol: static  # noqa: E731
     outdir = Path(args.out)
     backend = "process" if args.workers > 1 else "serial"
+    if not args.fast and (args.tiles is not None or args.ert_alpha != ALPHA_CUTOFF):
+        raise SystemExit("--tiles/--ert-alpha tune the fast path; add --fast")
+    if args.cache and args.workers > 1:
+        raise SystemExit("--cache keeps frames in-process; drop --workers to use it")
+    fast_options = None
+    if args.fast:
+        fast_options = {"ert_alpha": args.ert_alpha, "cell": args.cell}
+        if args.tiles is not None:
+            fast_options["tile"] = args.tiles
     images = render_sequence(
         sequence, [tf_for(vol) for vol in sequence], camera=camera,
         shading=not args.no_shading, workers=args.workers, backend=backend,
         transport=args.transport, retry=args.retries, on_error=args.on_error,
+        mode="fast" if args.fast else "exact", fast_options=fast_options,
+        cache=True if args.cache else None,
     )
     for vol, image in zip(sequence, images):
         if image is None:
             print(f"step {vol.time}: FAILED (skipped)")
             continue
-        path = image.save_ppm(outdir / f"frame_{vol.time:06d}.ppm")
+        if args.format == "png":
+            path = image.save_png(outdir / f"frame_{vol.time:06d}.png")
+        else:
+            path = image.save_ppm(outdir / f"frame_{vol.time:06d}.ppm")
         print(f"step {vol.time}: coverage {image.coverage():.3f} -> {path}")
     return 0
 
@@ -356,7 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("iatf", help="IATF json from train-iatf")
     p.add_argument("--mask", help="score retention against this mask")
     p.add_argument("--out", help="save per-step TFs as json")
-    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--workers", type=_positive_int, default=1)
     _add_farm_options(p)
     p.set_defaults(func=cmd_apply_iatf)
 
@@ -386,11 +412,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="temporal-coherence brick cache across steps "
                         "(fast path only; forces serial execution)")
     p.add_argument("--out", help="directory for per-step certainty .npy files")
-    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--workers", type=_positive_int, default=1)
     _add_farm_options(p)
     p.set_defaults(func=cmd_classify)
 
-    p = sub.add_parser("render", help="render a sequence to PPM frames")
+    p = sub.add_parser("render", help="render a sequence to image frames")
     p.add_argument("seqdir")
     p.add_argument("--out", required=True)
     p.add_argument("--iatf", help="saved IATF json (default: static box TF)")
@@ -400,9 +426,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--azimuth", type=float, default=30.0)
     p.add_argument("--elevation", type=float, default=20.0)
     p.add_argument("--no-shading", action="store_true")
-    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--workers", type=_positive_int, default=1)
     p.add_argument("--transport", choices=["auto", "pickle", "shm"], default="auto",
                    help="how volume payloads reach pool workers")
+    p.add_argument("--fast", action="store_true",
+                   help="tile-decomposed renderer with empty-space skipping "
+                        "and early ray termination (bit-identical to the "
+                        "reference at the default --ert-alpha)")
+    p.add_argument("--tiles", type=_positive_int, metavar="EDGE",
+                   help="fast-path tile edge in pixels (default: whole image "
+                        "in-process, 64 when fanning out)")
+    p.add_argument("--ert-alpha", type=float, default=ALPHA_CUTOFF,
+                   help="fast-path early-termination opacity threshold; "
+                        "below the default it trades a bounded compositing "
+                        "tail for speed")
+    p.add_argument("--cell", type=_positive_int, default=8,
+                   help="fast-path macro-cell edge in voxels")
+    p.add_argument("--cache", action="store_true",
+                   help="reuse frames whose content digest repeats across "
+                        "steps (forces serial rendering)")
+    p.add_argument("--format", choices=["ppm", "png"], default="ppm",
+                   help="frame file format")
     _add_farm_options(p)
     p.set_defaults(func=cmd_render)
 
@@ -424,7 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "brick-decomposed labeling with union-find merge")
     p.add_argument("--bricks", type=int, nargs=3, metavar=("BZ", "BY", "BX"),
                    help="spatial brick interior for --engine bricked")
-    p.add_argument("--workers", type=int, default=1,
+    p.add_argument("--workers", type=_positive_int, default=1,
                    help="process-parallel per-brick labeling (bricked engine)")
     p.add_argument("--out", help="save tracked masks as .npy")
     p.set_defaults(func=cmd_track)

@@ -23,9 +23,12 @@ import numpy as np
 from repro.core.dataspace import DataSpaceClassifier
 from repro.core.iatf import AdaptiveTransferFunction
 from repro.obs import get_metrics
+from repro.parallel.bricking import content_digest
 from repro.parallel.executor import map_timesteps, will_use_processes
 from repro.parallel.shm import HAS_SHARED_MEMORY, OpenSharedVolume, SharedVolumeArena
 from repro.render.camera import Camera
+from repro.render.fastcast import render_volume_fast
+from repro.render.image import Image
 from repro.render.raycast import render_volume
 from repro.transfer.tf1d import TransferFunction1D
 from repro.volume.grid import Volume, VolumeSequence
@@ -126,44 +129,125 @@ def generate_sequence_tfs(iatf: AdaptiveTransferFunction, sequence: VolumeSequen
     return outcome.results
 
 
-def _render_one(payload):
-    volume, tf, camera, step, shading = payload
+def _render_frame(volume, tf, camera, step, shading, mode, fast_opts):
+    if mode == "fast":
+        return render_volume_fast(volume, tf, camera=camera, step=step,
+                                  shading=shading, **fast_opts)
     return render_volume(volume, tf, camera=camera, step=step, shading=shading)
 
 
+def frame_digest(volume, tf: TransferFunction1D, camera: Camera, step: float,
+                 shading: bool, renderer: str = "exact") -> str:
+    """Content digest of everything one rendered frame depends on.
+
+    Covers the voxels, the TF's effective opacity *and* color tables and
+    domain, the full camera state, the sampling step, shading, and a
+    renderer signature (so exact/fast frames and different fast-path
+    parameters never alias).  Two frames with equal digests render
+    identically, which is what lets :func:`render_sequence` reuse frames
+    across steps whose volumes repeat (steady regions, periodic flows).
+    """
+    data = volume.data if isinstance(volume, Volume) else np.asarray(volume)
+    params = repr((camera.azimuth, camera.elevation, camera.width, camera.height,
+                   camera.zoom, camera.projection, camera.eye_distance,
+                   float(step), bool(shading), renderer)).encode()
+    return content_digest(
+        data,
+        np.asarray(tf.opacity),
+        np.asarray(tf.color_at(tf.entry_values()), dtype=np.float32),
+        np.asarray((tf.lo, tf.hi), dtype=np.float64),
+        np.frombuffer(params, dtype=np.uint8),
+    )
+
+
+def _render_one(payload):
+    volume, tf, camera, step, shading, mode, fast_opts, cache, sig = payload
+    if cache is not None:
+        key = frame_digest(volume, tf, camera, step, shading, sig)
+        pixels = cache.get(key)
+        if pixels is not None:
+            get_metrics().counter("render.frame_cache.hits").inc()
+            return Image.from_array(pixels)
+        get_metrics().counter("render.frame_cache.misses").inc()
+    image = _render_frame(volume, tf, camera, step, shading, mode, fast_opts)
+    if cache is not None:
+        cache.put(key, image.pixels.copy())
+    return image
+
+
 def _render_one_shm(payload):
-    handle, tf, camera, step, shading = payload
+    handle, tf, camera, step, shading, mode, fast_opts = payload
     with OpenSharedVolume(handle) as volume:
-        return render_volume(volume, tf, camera=camera, step=step, shading=shading)
+        return _render_frame(volume, tf, camera, step, shading, mode, fast_opts)
 
 
 def render_sequence(sequence: VolumeSequence, tfs, camera: Camera | None = None,
                     step: float = 1.0, shading: bool = True,
                     workers: int | None = None, backend: str = "auto",
                     transport: str = "auto", retry=None,
-                    on_error: str = "raise") -> list:
+                    on_error: str = "raise", mode: str = "exact",
+                    fast_options: dict | None = None, cache=None) -> list:
     """Render every step with its own transfer function.
 
     ``tfs`` is either one shared :class:`TransferFunction1D` or a list with
     one TF per step (the IATF output).  Returns one
     :class:`~repro.render.image.Image` per step (``None`` for steps
     skipped under ``on_error="skip"``).
+
+    ``mode="fast"`` routes frames through the tile/ESS/ERT renderer
+    (:func:`repro.render.fastcast.render_volume_fast`) with
+    ``fast_options`` forwarded (``tile``, ``ert_alpha``, ``cell``, …).
+    When the *sequence* map fans out to processes, each step's tiles are
+    forced in-process (one pool, no nesting); give the fast path its tile
+    workers by keeping the sequence map serial.
+
+    ``cache`` enables content-keyed frame reuse: pass ``True`` for a
+    fresh :class:`~repro.core.fastclassify.TemporalCoherenceCache` or an
+    existing instance to keep frames warm across calls.  Keys cover
+    volume + TF + camera + renderer (:func:`frame_digest`), so a hit
+    returns bit-identical pixels.  Like the classify cache it is
+    in-process state and forces the serial backend; combining it with
+    ``backend="process"`` is an error.
     """
     camera = camera or Camera()
+    if mode not in ("exact", "fast"):
+        raise ValueError(f"unknown render mode {mode!r}; expected 'exact' or 'fast'")
+    if fast_options is not None and mode != "fast":
+        raise ValueError("fast_options requires mode='fast'")
     if isinstance(tfs, TransferFunction1D):
         tfs = [tfs] * len(sequence)
     tfs = list(tfs)
     if len(tfs) != len(sequence):
         raise ValueError(f"need one TF per step: got {len(tfs)} TFs for {len(sequence)} steps")
-    with get_metrics().span("pipeline.render_sequence", steps=len(sequence)):
-        if _use_shm(transport, backend, workers, len(sequence)):
+    if cache is True:
+        from repro.core.fastclassify import TemporalCoherenceCache
+        cache = TemporalCoherenceCache()
+    if cache is not None:
+        if backend == "process":
+            raise ValueError(
+                "cache requires in-process execution (its frame store cannot "
+                "be shared across worker processes); use backend='serial' "
+                "or 'auto'")
+        backend = "serial"
+    fast_opts = dict(fast_options or {})
+    if mode == "fast" and will_use_processes(backend, workers, len(sequence)):
+        # The per-step fan-out owns the process pool; nesting a tile pool
+        # inside each worker would oversubscribe, so tiles stay in-process.
+        fast_opts["workers"] = 1
+        fast_opts["backend"] = "serial"
+    sig = "exact" if mode == "exact" else f"fast:{sorted(fast_opts.items())!r}"
+    with get_metrics().span("pipeline.render_sequence", steps=len(sequence),
+                            mode=mode, cached=cache is not None):
+        if cache is None and _use_shm(transport, backend, workers, len(sequence)):
             with SharedVolumeArena() as arena:
-                payloads = [(arena.share(vol), tf, camera, step, shading)
+                payloads = [(arena.share(vol), tf, camera, step, shading,
+                             mode, fast_opts)
                             for vol, tf in zip(sequence, tfs)]
                 outcome = map_timesteps(_render_one_shm, payloads, workers=workers,
                                         backend=backend, retry=retry, on_error=on_error)
         else:
-            payloads = [(vol, tf, camera, step, shading)
+            payloads = [(vol, tf, camera, step, shading, mode, fast_opts,
+                         cache, sig)
                         for vol, tf in zip(sequence, tfs)]
             outcome = map_timesteps(_render_one, payloads, workers=workers,
                                     backend=backend, retry=retry, on_error=on_error)

@@ -121,6 +121,57 @@ class OpenSharedVolume:
             self._shm = None
 
 
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable reference to an arbitrary ndarray parked in shared memory.
+
+    The volume-shaped :class:`SharedVolumeHandle` covers the common case;
+    this generic sibling carries any shape/dtype — the tile renderer uses
+    it for ``(nz, ny, nx, 4)`` RGBA stacks and ``(nz, ny, nx, 3)``
+    gradient stacks that ride alongside the scalar volume.
+    """
+
+    shm_name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the array the handle refers to."""
+        n = np.dtype(self.dtype).itemsize
+        for dim in self.shape:
+            n *= dim
+        return n
+
+    def open(self) -> tuple[np.ndarray, object]:
+        """Attach and wrap as a zero-copy ndarray view.
+
+        Returns ``(array, segment)``; keep ``segment`` alive while using
+        the array and ``segment.close()`` afterwards (or use
+        :class:`OpenSharedArray`).
+        """
+        shm = attach_shared_memory(self.shm_name)
+        array = np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=shm.buf)
+        return array, shm
+
+
+class OpenSharedArray:
+    """``with OpenSharedArray(handle) as array: ...`` worker-side view."""
+
+    def __init__(self, handle: SharedArrayHandle) -> None:
+        self._handle = handle
+        self._shm = None
+
+    def __enter__(self) -> np.ndarray:
+        array, self._shm = self._handle.open()
+        return array
+
+    def __exit__(self, *exc) -> None:
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+
 class SharedVolumeArena:
     """Parent-side owner of the shared segments for one map call.
 
@@ -148,6 +199,17 @@ class SharedVolumeArena:
         return SharedVolumeHandle(
             shm_name=shm.name, shape=tuple(data.shape),
             time=volume.time, name=volume.name,
+        )
+
+    def share_array(self, array: np.ndarray) -> SharedArrayHandle:
+        """Copy any ndarray into a new segment; return its generic handle."""
+        data = np.ascontiguousarray(array)
+        shm = shared_memory.SharedMemory(create=True, size=data.nbytes)
+        view = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
+        view[...] = data
+        self._segments.append(shm)
+        return SharedArrayHandle(
+            shm_name=shm.name, shape=tuple(data.shape), dtype=data.dtype.str,
         )
 
     @property

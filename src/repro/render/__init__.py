@@ -10,6 +10,9 @@ as vectorized numpy over ray-sample batches.
 - :mod:`repro.render.image` — RGBA image buffer and PPM export.
 - :mod:`repro.render.raycast` — orthographic ray caster (scalar + TF, or a
   precomputed RGBA volume) with early ray termination.
+- :mod:`repro.render.fastcast` — tile-parallel fast path over the same
+  semantics: macro-cell empty-space skipping, per-ray box clipping, and
+  configurable early termination (bit-identical at the default cutoff).
 - :mod:`repro.render.shading` — gradient-based Phong headlight shading.
 - :mod:`repro.render.multipass` — the Sec. 7 tracked-feature highlight
   pass (tracked voxels forced red, opacity from the adaptive TF).
@@ -17,6 +20,13 @@ as vectorized numpy over ray-sample batches.
 """
 
 from repro.render.camera import Camera
+from repro.render.fastcast import (
+    SkipGrid,
+    build_alpha_skip_grid,
+    build_skip_grid,
+    render_rgba_volume_fast,
+    render_volume_fast,
+)
 from repro.render.image import Image
 from repro.render.image_metrics import image_difference, mse, psnr, ssim
 from repro.render.multipass import render_tracked
@@ -35,9 +45,12 @@ __all__ = [
     "AgreementReport",
     "Camera",
     "Image",
+    "SkipGrid",
     "agreement_overlay",
     "agreement_report",
     "bar_chart",
+    "build_alpha_skip_grid",
+    "build_skip_grid",
     "image_difference",
     "line_chart",
     "mse",
@@ -46,7 +59,9 @@ __all__ = [
     "tracking_agreement",
     "phong_shade",
     "render_rgba_volume",
+    "render_rgba_volume_fast",
     "render_tracked",
     "render_volume",
+    "render_volume_fast",
     "slice_image",
 ]

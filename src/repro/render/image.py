@@ -1,16 +1,45 @@
-"""RGBA image buffer with PPM/PGM export.
+"""RGBA image buffer with PPM/PGM/PNG export.
 
 Images are ``(height, width, 4)`` float32 arrays with premultiplied-alpha
 semantics during compositing and straight RGB on export.  PPM (P6) needs no
 external imaging library — results stay inspectable with any viewer while
-the repository remains dependency-light.
+the repository remains dependency-light.  PNG export uses only stdlib
+``zlib``/``struct`` (8-bit RGB, filter 0) so CI can publish golden frames
+that render inline in artifact viewers.
 """
 
 from __future__ import annotations
 
+import struct
+import zlib
 from pathlib import Path
 
 import numpy as np
+
+
+def _png_chunk(tag: bytes, payload: bytes) -> bytes:
+    crc = zlib.crc32(tag + payload) & 0xFFFFFFFF
+    return struct.pack(">I", len(payload)) + tag + payload + struct.pack(">I", crc)
+
+
+def encode_png_rgb(rgb8: np.ndarray) -> bytes:
+    """Encode an ``(h, w, 3)`` uint8 array as a PNG byte string."""
+    rgb8 = np.asarray(rgb8)
+    if rgb8.ndim != 3 or rgb8.shape[2] != 3 or rgb8.dtype != np.uint8:
+        raise ValueError(f"expected (h, w, 3) uint8 array, got "
+                         f"{rgb8.shape} {rgb8.dtype}")
+    height, width = rgb8.shape[:2]
+    ihdr = struct.pack(">IIBBBBB", width, height, 8, 2, 0, 0, 0)
+    # One filter byte (0 = None) prefixes every scanline.
+    raw = np.empty((height, 1 + width * 3), dtype=np.uint8)
+    raw[:, 0] = 0
+    raw[:, 1:] = rgb8.reshape(height, width * 3)
+    return b"".join([
+        b"\x89PNG\r\n\x1a\n",
+        _png_chunk(b"IHDR", ihdr),
+        _png_chunk(b"IDAT", zlib.compress(raw.tobytes(), level=6)),
+        _png_chunk(b"IEND", b""),
+    ])
 
 
 class Image:
@@ -66,6 +95,14 @@ class Image:
         rgb8 = (self.composited() * 255.0 + 0.5).astype(np.uint8)
         header = f"P6\n{rgb8.shape[1]} {rgb8.shape[0]}\n255\n".encode("ascii")
         path.write_bytes(header + rgb8.tobytes())
+        return path
+
+    def save_png(self, path) -> Path:
+        """Write an 8-bit RGB PNG (stdlib-only encoder); returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        rgb8 = (self.composited() * 255.0 + 0.5).astype(np.uint8)
+        path.write_bytes(encode_png_rgb(rgb8))
         return path
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.render.camera import Camera
+from repro.render.fastcast import render_rgba_volume_fast
 from repro.render.image import Image
 from repro.render.raycast import render_rgba_volume
 from repro.transfer.tf1d import TransferFunction1D
@@ -78,17 +79,34 @@ def render_tracked(
     step: float = 1.0,
     shading: bool = True,
     highlight_color=HIGHLIGHT_RED,
+    fast: bool = False,
+    fast_options: dict | None = None,
 ) -> Image:
     """Render one time step with the tracked feature highlighted in red.
 
     This is the Fig. 9 frame renderer; Sec. 7 reports ~4 fps for it on the
     paper's GPU versus ~6 fps for the plain pass — the multi-pass overhead
     ratio our Sec. 7 bench reproduces.
+
+    ``fast=True`` sends the baked RGBA volume through the tile/ESS/ERT
+    renderer (:func:`repro.render.fastcast.render_rgba_volume_fast`) with
+    ``fast_options`` forwarded (``tile``, ``workers``, ``ert_alpha``,
+    ``cell``, …) — bit-identical at the default termination threshold.
     """
+    if fast_options is not None and not fast:
+        raise ValueError("fast_options requires fast=True")
     data = volume.data if isinstance(volume, Volume) else np.asarray(volume, dtype=np.float32)
     rgba = tracked_rgba(
         volume, tracked_mask, context_tf, adaptive_tf, highlight_color=highlight_color
     )
+    if fast:
+        return render_rgba_volume_fast(
+            rgba,
+            camera=camera,
+            step=step,
+            shading_field=data if shading else None,
+            **(fast_options or {}),
+        )
     return render_rgba_volume(
         rgba,
         camera=camera,

@@ -29,7 +29,10 @@ from repro.render.shading import phong_shade
 from repro.transfer.tf1d import TransferFunction1D
 from repro.volume.grid import Volume
 
-_ALPHA_CUTOFF = 0.99
+# Early-ray-termination threshold; the fast path (repro.render.fastcast)
+# defaults to the same value so the two renderers terminate identically.
+ALPHA_CUTOFF = 0.99
+_ALPHA_CUTOFF = ALPHA_CUTOFF
 
 
 def _sample(field: np.ndarray, coords: np.ndarray) -> np.ndarray:

@@ -126,6 +126,31 @@ class OctreeMask:
         raw = int(np.prod(self.shape))
         return raw / max(self.encoded_bytes, 1)
 
+    def leaf_boxes(self, state: str = "full") -> list[tuple[int, int, int, int, int, int]]:
+        """Boxes ``(z0, z1, y0, y1, x0, x1)`` of the leaves in one state.
+
+        ``state`` is ``"full"`` or ``"empty"``.  Boxes are clipped to the
+        unpadded mask extent and degenerate (fully padded-out) leaves are
+        dropped, so iterating the returned boxes visits exactly the mask
+        voxels the leaves cover.  The empty-space-skipping renderer uses
+        this to enumerate the coalesced skip regions its soundness tests
+        certify cell by cell.
+        """
+        if state not in ("full", "empty"):
+            raise ValueError(f"state must be 'full' or 'empty', got {state!r}")
+        want = _FULL if state == "full" else _EMPTY
+        nz, ny, nx = self.shape
+        boxes = []
+        for level, z, y, x, leaf_state in self._leaves:
+            if leaf_state != want:
+                continue
+            edge = 1 << int(level)
+            z0, y0, x0 = int(z) * edge, int(y) * edge, int(x) * edge
+            z1, y1, x1 = min(z0 + edge, nz), min(y0 + edge, ny), min(x0 + edge, nx)
+            if z1 > z0 and y1 > y0 and x1 > x0:
+                boxes.append((z0, z1, y0, y1, x0, x1))
+        return boxes
+
     def feature_voxels(self) -> int:
         """Feature voxel count, computed from the leaves without decoding
         (full leaves clipped to the unpadded extent)."""

@@ -33,6 +33,31 @@ def downsample2(data: np.ndarray) -> np.ndarray:
     return blocks.mean(axis=(1, 3, 5)).astype(np.float32)
 
 
+def minmax_pool(data: np.ndarray, cell: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-macro-cell ``(min, max)`` summaries over ``cell``³ voxel blocks.
+
+    The same block reduction the mip pyramid performs, but with min/max
+    instead of mean pooling: the result is the value *interval* each
+    macro cell can produce under any interpolation that stays inside its
+    voxels' convex hull — the summary the empty-space-skipping renderer
+    certifies against.  Edge cells are completed by edge replication,
+    which adds only duplicate values and therefore leaves both extrema
+    exact.  Returns two ``(ceil(nz/cell), ceil(ny/cell), ceil(nx/cell))``
+    arrays in the input dtype.
+    """
+    data = np.asarray(data)
+    if data.ndim != 3:
+        raise ValueError(f"expected 3D array, got ndim={data.ndim}")
+    if cell < 1:
+        raise ValueError(f"cell must be >= 1, got {cell}")
+    pads = [(0, (-s) % cell) for s in data.shape]
+    if any(p[1] for p in pads):
+        data = np.pad(data, pads, mode="edge")
+    nz, ny, nx = (s // cell for s in data.shape)
+    blocks = data.reshape(nz, cell, ny, cell, nx, cell)
+    return blocks.min(axis=(1, 3, 5)), blocks.max(axis=(1, 3, 5))
+
+
 class VolumePyramid:
     """Mip pyramid over one volume.
 

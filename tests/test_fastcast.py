@@ -1,0 +1,447 @@
+"""Differential battery for the tile-parallel fast renderer.
+
+The fast path's contract is exact: at the reference's own termination
+threshold it must be *bit-identical* to ``render_volume`` /
+``render_rgba_volume`` — for any tile size, tile schedule, worker count,
+transport, camera, and step size — because it only ever skips samples
+certified to contribute exactly zero opacity.  Lower ERT thresholds give
+a deviation bounded by ``1 - ert_alpha``.  The soundness tests certify
+the skip machinery itself: every octree-enumerated skip region is probed
+with fresh samples that must all carry zero opacity.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.fastclassify import TemporalCoherenceCache
+from repro.core.pipeline import frame_digest, render_sequence
+from repro.data.argon import ring_value_band
+from repro.data.swirl import feature_peak_at
+from repro.obs import get_metrics
+from repro.parallel.shm import HAS_SHARED_MEMORY, OpenSharedArray, SharedVolumeArena
+from repro.render import Camera, render_rgba_volume, render_tracked, render_volume
+from repro.render.fastcast import (
+    build_alpha_skip_grid,
+    build_skip_grid,
+    render_rgba_volume_fast,
+    render_volume_fast,
+    tf_interval_occupancy,
+    tile_boxes,
+)
+from repro.render.image import Image, encode_png_rgb
+from repro.render.raycast import ALPHA_CUTOFF, _sample
+from repro.segmentation.octree import OctreeMask
+from repro.transfer import TransferFunction1D
+from repro.volume import Volume, VolumeSequence
+from repro.volume.pyramid import minmax_pool
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def argon_tf(sequence, time=195):
+    lo, hi = ring_value_band(sequence, time)
+    return TransferFunction1D(sequence.value_range).add_tent(
+        (lo + hi) / 2, (hi - lo) * 2.5, 1.0)
+
+
+def swirl_tf(sequence, time=23):
+    peak = feature_peak_at(sequence, time)
+    return TransferFunction1D(sequence.value_range).add_tent(
+        0.75 * peak, 0.9 * peak, 1.0)
+
+
+ORTHO = Camera(width=30, height=26, azimuth=30, elevation=20)
+PERSPECTIVE = Camera(width=24, height=24, azimuth=120, elevation=-35,
+                     projection="perspective")
+
+
+@pytest.fixture(scope="module")
+def argon_case(argon_small):
+    vol = argon_small.at_time(195)
+    return vol, argon_tf(argon_small)
+
+
+@pytest.fixture(scope="module")
+def swirl_case(swirl_small):
+    vol = swirl_small.at_time(23)
+    return vol, swirl_tf(swirl_small)
+
+
+# --------------------------------------------------------------------- #
+# Bit-identity at the reference termination threshold
+# --------------------------------------------------------------------- #
+class TestBitIdentical:
+    @pytest.mark.parametrize("case", ["argon", "swirl"])
+    @pytest.mark.parametrize("camera", [ORTHO, PERSPECTIVE], ids=["ortho", "persp"])
+    @pytest.mark.parametrize("shading", [True, False])
+    def test_matches_reference(self, case, camera, shading, argon_case, swirl_case):
+        vol, tf = argon_case if case == "argon" else swirl_case
+        ref = render_volume(vol, tf, camera=camera, shading=shading)
+        fast = render_volume_fast(vol, tf, camera=camera, shading=shading,
+                                  tile=16, cell=2)
+        assert np.array_equal(ref.pixels, fast.pixels)
+
+    @pytest.mark.parametrize("step", [0.65, 1.4])
+    def test_matches_reference_off_unit_step(self, step, argon_case):
+        vol, tf = argon_case
+        ref = render_volume(vol, tf, camera=ORTHO, step=step)
+        fast = render_volume_fast(vol, tf, camera=ORTHO, step=step)
+        assert np.array_equal(ref.pixels, fast.pixels)
+
+    @pytest.mark.parametrize("tile", [3, 8, 17, 512])
+    def test_tile_schedule_invariance(self, tile, argon_case):
+        """Any tile decomposition reproduces the reference bit for bit."""
+        vol, tf = argon_case
+        ref = render_volume(vol, tf, camera=ORTHO)
+        fast = render_volume_fast(vol, tf, camera=ORTHO, tile=tile, cell=2)
+        assert np.array_equal(ref.pixels, fast.pixels)
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_worker_count_invariance(self, workers, argon_case):
+        """Process fan-out is schedule-independent: same bits as serial."""
+        vol, tf = argon_case
+        serial = render_volume_fast(vol, tf, camera=ORTHO, tile=8, workers=1)
+        fanned = render_volume_fast(vol, tf, camera=ORTHO, tile=8,
+                                    workers=workers, backend="process")
+        assert np.array_equal(serial.pixels, fanned.pixels)
+
+    @pytest.mark.skipif(not HAS_SHARED_MEMORY, reason="no shared memory")
+    @pytest.mark.parametrize("transport", ["shm", "pickle"])
+    def test_transport_invariance(self, transport, argon_case):
+        vol, tf = argon_case
+        serial = render_volume_fast(vol, tf, camera=ORTHO, tile=8)
+        shipped = render_volume_fast(vol, tf, camera=ORTHO, tile=8, workers=2,
+                                     backend="process", transport=transport)
+        assert np.array_equal(serial.pixels, shipped.pixels)
+
+    @pytest.mark.parametrize("with_field", [True, False])
+    def test_rgba_matches_reference(self, with_field, argon_case):
+        vol, _ = argon_case
+        rgba = np.zeros(vol.data.shape + (4,), dtype=np.float32)
+        hot = vol.data > np.percentile(vol.data, 97)
+        rgba[hot] = [0.9, 0.4, 0.1, 0.6]
+        field = vol.data if with_field else None
+        ref = render_rgba_volume(rgba, camera=ORTHO, shading_field=field)
+        fast = render_rgba_volume_fast(rgba, camera=ORTHO, shading_field=field,
+                                       tile=11)
+        assert np.array_equal(ref.pixels, fast.pixels)
+
+    def test_multipass_fast_equivalence(self, argon_case):
+        vol, tf = argon_case
+        mask = vol.data > np.percentile(vol.data, 98)
+        ref = render_tracked(vol, mask, tf, camera=ORTHO)
+        fast = render_tracked(vol, mask, tf, camera=ORTHO, fast=True,
+                              fast_options={"tile": 8})
+        assert np.array_equal(ref.pixels, fast.pixels)
+
+    def test_opaque_outside_tf_still_exact(self):
+        """A TF that maps the outside value 0.0 to nonzero opacity defeats
+        box clipping; the fast path must notice and composite outside
+        samples like the reference does."""
+        n = 18
+        z, y, x = np.meshgrid(*(np.arange(n, dtype=np.float32),) * 3, indexing="ij")
+        r2 = (z - n / 2) ** 2 + (y - n / 2) ** 2 + (x - n / 2) ** 2
+        vol = Volume(np.exp(-r2 / (2 * (n / 6) ** 2)).astype(np.float32))
+        tf = TransferFunction1D((0.0, 1.0)).add_box(0.0, 1.0, 0.4)
+        assert float(np.asarray(tf.opacity_at(0.0))) > 0
+        cam = Camera(width=20, height=20)
+        ref = render_volume(vol, tf, camera=cam)
+        fast = render_volume_fast(vol, tf, camera=cam, tile=7)
+        assert np.array_equal(ref.pixels, fast.pixels)
+
+
+# --------------------------------------------------------------------- #
+# Early-ray-termination deviation bound
+# --------------------------------------------------------------------- #
+class TestErtBound:
+    @pytest.mark.parametrize("ert", [0.6, 0.8])
+    def test_deviation_bounded(self, ert, argon_case):
+        """Terminating at accumulated alpha ``ert`` drops a compositing
+        tail of total weight at most ``1 - ert`` per channel."""
+        vol, tf = argon_case
+        ref = render_volume(vol, tf, camera=ORTHO)
+        fast = render_volume_fast(vol, tf, camera=ORTHO, ert_alpha=ert)
+        diff = np.abs(ref.pixels - fast.pixels).max()
+        assert diff <= (1.0 - ert) + 1e-6
+
+    def test_lower_threshold_terminates_more_rays(self, argon_case):
+        vol, tf = argon_case
+        metrics = get_metrics()
+
+        def terminated(**kw):
+            before = metrics.counter("render.fast.rays_terminated_early").value
+            render_volume_fast(vol, tf, camera=ORTHO, **kw)
+            return metrics.counter("render.fast.rays_terminated_early").value - before
+
+        assert terminated(ert_alpha=0.5) >= terminated(ert_alpha=ALPHA_CUTOFF)
+
+    def test_invalid_ert_rejected(self, argon_case):
+        vol, tf = argon_case
+        for bad in (0.0, -0.2, 1.5):
+            with pytest.raises(ValueError, match="ert_alpha"):
+                render_volume_fast(vol, tf, camera=ORTHO, ert_alpha=bad)
+
+
+# --------------------------------------------------------------------- #
+# Empty-space-skipping soundness
+# --------------------------------------------------------------------- #
+def _probe_empty_boxes(skip, shape3, sampler, rng, points_per_box=24):
+    """Sample random positions inside every octree-enumerated skip region
+    and return the sampled quantity (opacity / alpha) at each.
+
+    ``empty_octree`` encodes the skip mask (True = certified empty), so
+    the skip regions are its *full* leaves."""
+    boxes = skip.empty_octree.leaf_boxes("full")
+    probes = []
+    for z0, z1, y0, y1, x0, x1 in boxes:
+        hi = np.minimum(np.array([z1, y1, x1], dtype=np.float64) * skip.cell,
+                        np.asarray(shape3) - 1.0)
+        lo = np.array([z0, y0, x0], dtype=np.float64) * skip.cell
+        pts = lo + rng.random((points_per_box, 3)) * (hi - lo)
+        probes.append(sampler(pts.astype(np.float32)))
+    return np.concatenate(probes) if probes else np.zeros(0)
+
+
+class TestSkipSoundness:
+    def test_scalar_skip_cells_have_zero_opacity(self, argon_case, rng):
+        """Every skipped macro cell is *provably* empty: fresh samples at
+        random positions inside the skip regions all classify to exactly
+        zero opacity under the TF."""
+        vol, tf = argon_case
+        skip = build_skip_grid(vol.data, tf, cell=2)
+        assert 0 < skip.cells_empty < skip.cells_total  # not vacuous
+        opacities = _probe_empty_boxes(
+            skip, vol.data.shape,
+            lambda pts: np.asarray(tf.opacity_at(_sample(vol.data, pts))), rng)
+        assert opacities.size > 0
+        assert (opacities == 0.0).all()
+
+    def test_rgba_skip_cells_have_zero_alpha(self, argon_case, rng):
+        vol, _ = argon_case
+        rgba = np.zeros(vol.data.shape + (4,), dtype=np.float32)
+        hot = vol.data > np.percentile(vol.data, 95)
+        rgba[hot] = [0.2, 0.3, 0.4, 0.5]
+        skip = build_alpha_skip_grid(rgba[..., 3], cell=8)
+        assert skip.cells_empty > 0
+        alphas = _probe_empty_boxes(
+            skip, vol.data.shape,
+            lambda pts: _sample(np.ascontiguousarray(rgba[..., 3]), pts), rng)
+        assert (alphas == 0.0).all()
+
+    def test_octree_encodes_exact_complement(self, argon_case):
+        vol, tf = argon_case
+        skip = build_skip_grid(vol.data, tf, cell=2)
+        assert np.array_equal(skip.empty_octree.to_mask(), ~skip.occupied)
+
+    def test_occupied_cells_cover_all_nonzero_voxels(self, argon_case):
+        """Contrapositive at voxel resolution: every voxel with nonzero
+        opacity lies in an occupied cell."""
+        vol, tf = argon_case
+        skip = build_skip_grid(vol.data, tf, cell=2)
+        visible = np.asarray(tf.opacity_at(vol.data)) > 0
+        zz, yy, xx = np.nonzero(visible)
+        assert skip.occupied[zz // skip.cell, yy // skip.cell, xx // skip.cell].all()
+
+
+# --------------------------------------------------------------------- #
+# Units: macro-cell summaries, occupancy, tiling, octree boxes
+# --------------------------------------------------------------------- #
+class TestSupportUnits:
+    def test_minmax_pool_matches_bruteforce(self, rng):
+        data = rng.random((7, 9, 5)).astype(np.float32)
+        lo, hi = minmax_pool(data, 4)
+        assert lo.shape == hi.shape == (2, 3, 2)
+        for iz in range(2):
+            for iy in range(3):
+                for ix in range(2):
+                    block = data[iz * 4:(iz + 1) * 4, iy * 4:(iy + 1) * 4,
+                                 ix * 4:(ix + 1) * 4]
+                    assert lo[iz, iy, ix] == block.min()
+                    assert hi[iz, iy, ix] == block.max()
+
+    def test_minmax_pool_validation(self):
+        with pytest.raises(ValueError, match="3D"):
+            minmax_pool(np.zeros((4, 4)), 2)
+        with pytest.raises(ValueError, match="cell"):
+            minmax_pool(np.zeros((4, 4, 4)), 0)
+
+    def test_tf_interval_occupancy(self):
+        tf = TransferFunction1D((0.0, 1.0)).add_box(0.4, 0.6, 0.5)
+        lo = np.array([0.0, 0.30, 0.45, 0.80])
+        hi = np.array([0.1, 0.70, 0.50, 0.90])
+        assert tf_interval_occupancy(tf, lo, hi).tolist() == [False, True, True, False]
+        silent = TransferFunction1D((0.0, 1.0))
+        assert not tf_interval_occupancy(silent, lo, hi).any()
+
+    def test_tile_boxes_partition_image(self):
+        boxes = tile_boxes(26, 30, 8)
+        cover = np.zeros((26, 30), dtype=int)
+        for r0, r1, c0, c1 in boxes:
+            cover[r0:r1, c0:c1] += 1
+        assert (cover == 1).all()
+        with pytest.raises(ValueError, match="tile"):
+            tile_boxes(10, 10, 0)
+
+    def test_leaf_boxes_cover_mask_exactly(self, rng):
+        mask = rng.random((9, 10, 11)) > 0.7
+        tree = OctreeMask.from_mask(mask)
+        for state, expect in (("full", mask), ("empty", ~mask)):
+            rebuilt = np.zeros(mask.shape, dtype=bool)
+            count = 0
+            for z0, z1, y0, y1, x0, x1 in tree.leaf_boxes(state):
+                rebuilt[z0:z1, y0:y1, x0:x1] = True
+                count += (z1 - z0) * (y1 - y0) * (x1 - x0)
+            assert np.array_equal(rebuilt, expect)
+            assert count == int(expect.sum())  # boxes never overlap
+        with pytest.raises(ValueError, match="state"):
+            tree.leaf_boxes("mixed")
+
+    def test_invalid_transport_rejected(self, argon_case):
+        vol, tf = argon_case
+        with pytest.raises(ValueError, match="transport"):
+            render_volume_fast(vol, tf, camera=ORTHO, transport="carrier-pigeon")
+
+    @pytest.mark.skipif(not HAS_SHARED_MEMORY, reason="no shared memory")
+    def test_shared_array_roundtrip(self, rng):
+        stack = rng.random((3, 4, 5, 4)).astype(np.float32)
+        with SharedVolumeArena() as arena:
+            handle = arena.share_array(stack)
+            assert handle.nbytes == stack.nbytes
+            with OpenSharedArray(handle) as view:
+                assert view.dtype == stack.dtype
+                assert np.array_equal(view, stack)
+
+    def test_png_roundtrip(self, rng):
+        rgba = rng.random((6, 9, 4)).astype(np.float32)
+        image = Image.from_array(rgba)
+        blob = encode_png_rgb((image.composited() * 255.0 + 0.5).astype(np.uint8))
+        assert blob.startswith(b"\x89PNG\r\n\x1a\n")
+        # IHDR: width/height big-endian right after the 8-byte signature
+        # and the 8-byte chunk header.
+        width = int.from_bytes(blob[16:20], "big")
+        height = int.from_bytes(blob[20:24], "big")
+        assert (height, width) == (6, 9)
+        idat_start = blob.index(b"IDAT") + 4
+        idat_len = int.from_bytes(blob[idat_start - 8:idat_start - 4], "big")
+        raw = zlib.decompress(blob[idat_start:idat_start + idat_len])
+        decoded = np.frombuffer(raw, dtype=np.uint8).reshape(6, 1 + 9 * 3)
+        assert (decoded[:, 0] == 0).all()
+        expect = (image.composited() * 255.0 + 0.5).astype(np.uint8)
+        assert np.array_equal(decoded[:, 1:].reshape(6, 9, 3), expect)
+
+    def test_save_png_writes_file(self, tmp_path, rng):
+        image = Image.from_array(rng.random((5, 5, 4)).astype(np.float32))
+        path = image.save_png(tmp_path / "frame.png")
+        assert path.read_bytes().startswith(b"\x89PNG")
+
+
+# --------------------------------------------------------------------- #
+# Sequence pipeline: fast mode + content-keyed frame cache
+# --------------------------------------------------------------------- #
+class TestRenderSequenceFast:
+    @pytest.fixture(scope="class")
+    def short_seq(self, argon_small):
+        vols = [argon_small[0], argon_small[1],
+                Volume(argon_small[0].data.copy(), time=900)]
+        return VolumeSequence(vols, name="short")
+
+    def test_fast_mode_matches_exact(self, short_seq, argon_small):
+        tf = argon_tf(argon_small)
+        cam = Camera(width=20, height=20)
+        exact = render_sequence(short_seq, tf, camera=cam)
+        fast = render_sequence(short_seq, tf, camera=cam, mode="fast",
+                               fast_options={"tile": 10})
+        assert all(np.array_equal(a.pixels, b.pixels)
+                   for a, b in zip(exact, fast))
+
+    def test_frame_cache_hits_repeated_content(self, short_seq, argon_small):
+        """The third step repeats the first step's voxels: one cache hit,
+        bit-identical frames, misses only for unique content."""
+        tf = argon_tf(argon_small)
+        cam = Camera(width=20, height=20)
+        cache = TemporalCoherenceCache()
+        first = render_sequence(short_seq, tf, camera=cam, mode="fast", cache=cache)
+        assert cache.hits == 1 and cache.misses == 2
+        assert np.array_equal(first[0].pixels, first[2].pixels)
+        again = render_sequence(short_seq, tf, camera=cam, mode="fast", cache=cache)
+        assert cache.hits == 4  # warm across calls
+        assert all(np.array_equal(a.pixels, b.pixels)
+                   for a, b in zip(first, again))
+
+    def test_frame_digest_separates_renderers(self, argon_small):
+        tf = argon_tf(argon_small)
+        cam = Camera(width=20, height=20)
+        vol = argon_small[0]
+        base = frame_digest(vol, tf, cam, 1.0, True, "exact")
+        assert frame_digest(vol, tf, cam, 1.0, True, "fast:[]") != base
+        assert frame_digest(vol, tf, cam, 0.5, True, "exact") != base
+        assert frame_digest(vol, tf, cam, 1.0, True, "exact") == base
+
+    def test_cache_rejects_process_backend(self, short_seq, argon_small):
+        with pytest.raises(ValueError, match="cache"):
+            render_sequence(short_seq, argon_tf(argon_small), cache=True,
+                            backend="process", workers=2)
+
+    def test_fast_options_require_fast_mode(self, short_seq, argon_small):
+        with pytest.raises(ValueError, match="fast_options"):
+            render_sequence(short_seq, argon_tf(argon_small),
+                            fast_options={"tile": 8})
+        with pytest.raises(ValueError, match="mode"):
+            render_sequence(short_seq, argon_tf(argon_small), mode="warp")
+
+    def test_multipass_fast_options_require_fast(self, argon_case):
+        vol, tf = argon_case
+        mask = vol.data > np.percentile(vol.data, 98)
+        with pytest.raises(ValueError, match="fast_options"):
+            render_tracked(vol, mask, tf, fast_options={"tile": 8})
+
+
+# --------------------------------------------------------------------- #
+# CLI argument validation + fast-path flags
+# --------------------------------------------------------------------- #
+class TestCliFastPath:
+    @pytest.fixture(scope="class")
+    def seqdir(self, tmp_path_factory):
+        from repro.cli import main
+        path = tmp_path_factory.mktemp("fastcli") / "argon"
+        assert main(["generate", "argon", str(path), "--shape", "12", "16", "16",
+                     "--times", "195", "210"]) == 0
+        return path
+
+    def test_fast_render_writes_png_frames(self, seqdir, tmp_path):
+        from repro.cli import main
+        out = tmp_path / "frames"
+        rc = main(["render", str(seqdir), "--out", str(out), "--size", "16",
+                   "--fast", "--tiles", "8", "--ert-alpha", "0.9",
+                   "--format", "png", "--cache"])
+        assert rc == 0
+        frames = sorted(out.glob("frame_*.png"))
+        assert len(frames) == 2
+        assert frames[0].read_bytes().startswith(b"\x89PNG")
+
+    @pytest.mark.parametrize("flags", [
+        ["--tiles", "0", "--fast"],
+        ["--tiles", "-4", "--fast"],
+        ["--workers", "0"],
+        ["--workers", "-2"],
+        ["--cell", "0", "--fast"],
+    ])
+    def test_nonpositive_counts_rejected(self, seqdir, tmp_path, flags):
+        from repro.cli import main
+        with pytest.raises(SystemExit) as err:
+            main(["render", str(seqdir), "--out", str(tmp_path / "x")] + flags)
+        assert err.value.code != 0
+
+    def test_fast_flags_require_fast(self, seqdir, tmp_path):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="--fast"):
+            main(["render", str(seqdir), "--out", str(tmp_path / "x"),
+                  "--tiles", "8"])
+
+    def test_cache_conflicts_with_workers(self, seqdir, tmp_path):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="cache"):
+            main(["render", str(seqdir), "--out", str(tmp_path / "x"),
+                  "--cache", "--workers", "2"])
