@@ -17,7 +17,10 @@ Subcommands (``python -m repro.cli <cmd> -h`` for options):
   classify every step (``--fast``/``--exact``, ``--prune``, ``--cache``);
 - ``render`` — render a sequence to PPM frames with a box TF or saved IATF;
 - ``track`` — fixed-range or adaptive tracking; writes per-step voxel
-  counts and the event timeline.
+  counts and the event timeline;
+- ``run`` — crash-safe resumable execution of the whole DAG against a
+  content-addressed artifact store (``repro run cfg.json --out DIR``,
+  ``repro run --resume DIR``).
 """
 
 from __future__ import annotations
@@ -52,6 +55,7 @@ from repro.data import (
 from repro.metrics import feature_retention
 from repro.render.camera import Camera
 from repro.render.raycast import ALPHA_CUTOFF
+from repro.run import ConfigError, PipelineRunner, RunConfig, RunError
 from repro.transfer.tf1d import TransferFunction1D
 from repro.volume.io import load_sequence, save_sequence
 
@@ -331,6 +335,30 @@ def cmd_track(args) -> int:
     return 0
 
 
+def cmd_run(args) -> int:
+    """Execute (or resume) a crash-safe pipeline run directory."""
+    try:
+        if args.resume:
+            if args.config or args.out:
+                raise SystemExit("--resume takes the run directory only; "
+                                 "the stored config.json drives the run")
+            runner = PipelineRunner.resume(args.resume)
+        else:
+            if not args.config or not args.out:
+                raise SystemExit("a new run needs a config json and --out DIR "
+                                 "(or --resume RUN_DIR to continue one)")
+            runner = PipelineRunner.create(RunConfig.from_json(args.config), args.out)
+        report = runner.run()
+    except (ConfigError, RunError) as exc:
+        raise SystemExit(str(exc)) from None
+    for stage, status in report.stages.items():
+        print(f"stage {stage}: {status}")
+    print(f"tasks: {report.executed} executed, {report.skipped} skipped "
+          f"({report.artifacts} artifacts in store)")
+    print(f"run directory: {report.run_dir}")
+    return 0
+
+
 # --------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------- #
@@ -472,6 +500,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process-parallel per-brick labeling (bricked engine)")
     p.add_argument("--out", help="save tracked masks as .npy")
     p.set_defaults(func=cmd_track)
+
+    p = sub.add_parser("run", help="crash-safe resumable pipeline run")
+    p.add_argument("config", nargs="?",
+                   help="run config json (see docs/reproduction_notes.md §13)")
+    p.add_argument("--out", help="run directory for a new run")
+    p.add_argument("--resume", metavar="RUN_DIR",
+                   help="continue an interrupted run directory; completed "
+                        "artifacts are verified and skipped")
+    p.set_defaults(func=cmd_run)
     return parser
 
 

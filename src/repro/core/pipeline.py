@@ -129,6 +129,22 @@ def generate_sequence_tfs(iatf: AdaptiveTransferFunction, sequence: VolumeSequen
     return outcome.results
 
 
+def volume_digest(volume) -> str:
+    """Content digest of one volume's voxels (and per-voxel masks).
+
+    The resumable runner (:mod:`repro.run`) folds this into every
+    artifact key so a regenerated-but-identical sequence resumes cleanly
+    while any voxel change invalidates exactly the steps it touches.
+    """
+    data = volume.data if isinstance(volume, Volume) else np.asarray(volume)
+    blobs = [data]
+    if isinstance(volume, Volume):
+        for name in sorted(volume.masks):
+            blobs.append(np.frombuffer(name.encode(), dtype=np.uint8))
+            blobs.append(volume.mask(name))
+    return content_digest(*blobs)
+
+
 def _render_frame(volume, tf, camera, step, shading, mode, fast_opts):
     if mode == "fast":
         return render_volume_fast(volume, tf, camera=camera, step=step,

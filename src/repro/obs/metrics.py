@@ -196,11 +196,23 @@ class MetricsRegistry:
                 },
             }
 
-    def reset(self) -> None:
-        """Drop all counters and timers (sink configuration is kept)."""
+    def reset(self, prefix: str = "") -> None:
+        """Drop counters and timers (sink configuration is kept).
+
+        With a ``prefix``, only instruments whose name starts with it are
+        dropped — the resumable runner clears ``run.*`` at the start of
+        each invocation so its persisted stats describe *that* run, not
+        the whole process lifetime, without disturbing other subsystems'
+        instruments.
+        """
         with self._lock:
-            self._counters.clear()
-            self._timers.clear()
+            if not prefix:
+                self._counters.clear()
+                self._timers.clear()
+                return
+            for store in (self._counters, self._timers):
+                for name in [n for n in store if n.startswith(prefix)]:
+                    del store[name]
 
 
 _default = MetricsRegistry()

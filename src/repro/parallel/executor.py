@@ -214,18 +214,21 @@ def will_use_processes(backend: str, workers: int | None, n_items: int) -> bool:
 def _run_chunk(payloads) -> list[tuple]:
     """Worker-side runner: execute a chunk of attempts, never raise.
 
-    Each payload is ``(fn, index, item, attempt, injector)``; each outcome
-    is ``(index, ok, result, elapsed, error)`` where ``error`` is ``None``
-    or ``(type_name, message, formatted_traceback)``.  Catching here keeps
-    one bad item from poisoning its chunk-mates and carries the *remote*
-    traceback back across the process boundary as plain text.
+    Each payload is ``(fn, index, item, attempt, injector, fault_index)``;
+    each outcome is ``(index, ok, result, elapsed, error)`` where ``error``
+    is ``None`` or ``(type_name, message, formatted_traceback)``.
+    ``fault_index`` is the index the injector is consulted with — it
+    differs from ``index`` when the caller numbers tasks across several
+    maps (``fault_index_offset``).  Catching here keeps one bad item from
+    poisoning its chunk-mates and carries the *remote* traceback back
+    across the process boundary as plain text.
     """
     outcomes = []
-    for fn, index, item, attempt, injector in payloads:
+    for fn, index, item, attempt, injector, fault_index in payloads:
         start = time.perf_counter()
         try:
             if injector is not None:
-                injector.maybe_raise(index, attempt)
+                injector.maybe_raise(fault_index, attempt)
             result = fn(item)
             outcomes.append((index, True, result, time.perf_counter() - start, None))
         except Exception as exc:  # noqa: BLE001 - the farm owns error policy
@@ -273,13 +276,13 @@ def _timeout_error(timeout: float):
     return ("TaskTimeout", f"attempt exceeded the {timeout:g}s per-task timeout", "")
 
 
-def _map_serial(fn, items, state: _MapState, injector) -> None:
+def _map_serial(fn, items, state: _MapState, injector, fault_offset: int = 0) -> None:
     policy = state.policy
     for index, item in enumerate(items):
         attempt = 1
         while True:
             (_, ok, result, elapsed, error) = _run_chunk(
-                [(fn, index, item, attempt, injector)]
+                [(fn, index, item, attempt, injector, index + fault_offset)]
             )[0]
             if ok and policy.timeout is not None and elapsed > policy.timeout:
                 ok, error = False, _timeout_error(policy.timeout)
@@ -295,7 +298,7 @@ def _map_serial(fn, items, state: _MapState, injector) -> None:
 
 
 def _map_process(fn, items, state: _MapState, injector, workers: int,
-                 chunksize: int, ctx) -> None:
+                 chunksize: int, ctx, fault_offset: int = 0) -> None:
     policy = state.policy
     # Pending entries are (indices, attempt, eligible_at); initial chunks
     # honour ``chunksize``, retries go back as single-item chunks so each
@@ -314,7 +317,8 @@ def _map_process(fn, items, state: _MapState, injector, workers: int,
                 if eligible_at > now:
                     still_waiting.append((indices, attempt, eligible_at))
                     continue
-                payloads = [(fn, i, items[i], attempt, injector) for i in indices]
+                payloads = [(fn, i, items[i], attempt, injector, i + fault_offset)
+                            for i in indices]
                 handle = pool.apply_async(_run_chunk, (payloads,))
                 deadline = (None if policy.timeout is None
                             else now + policy.timeout * len(indices))
@@ -368,7 +372,8 @@ def _map_process(fn, items, state: _MapState, injector, workers: int,
 def map_timesteps(fn, items, workers: int | None = None, backend: str = "auto",
                   chunksize: int = 1, retry: RetryPolicy | int | None = None,
                   on_error: str = "raise",
-                  inject_faults: FaultInjector | dict | None = None) -> MapResult:
+                  inject_faults: FaultInjector | dict | None = None,
+                  fault_index_offset: int = 0) -> MapResult:
     """Map ``fn`` over ``items`` (one item ≙ one time step's work).
 
     ``fn`` must be picklable (module-level) for the process backend.
@@ -389,6 +394,13 @@ def map_timesteps(fn, items, workers: int | None = None, backend: str = "auto",
         Deterministic fault schedule for testing (see
         :mod:`repro.parallel.faults`); ``None`` defers to the
         ``REPRO_FAULT_INJECT`` environment spec.
+    fault_index_offset:
+        Added to each item's index when consulting the fault injector
+        (results stay keyed by local index).  Callers that issue several
+        maps as one logical run — the resumable pipeline runner numbers
+        its tasks globally across stages — use this so one schedule
+        (``"N:crash"``) addresses the run's Nth task regardless of which
+        map it lands in.
     """
     items = list(items)
     workers = _resolve_workers(workers)
@@ -417,11 +429,12 @@ def map_timesteps(fn, items, workers: int | None = None, backend: str = "auto",
                       items=len(items)):
         start = time.perf_counter()
         if not use_process:
-            _map_serial(fn, items, state, injector)
+            _map_serial(fn, items, state, injector, fault_index_offset)
         else:
             ctx = (mp.get_context("fork") if hasattr(os, "fork")
                    else mp.get_context("spawn"))
-            _map_process(fn, items, state, injector, workers, chunksize, ctx)
+            _map_process(fn, items, state, injector, workers, chunksize, ctx,
+                         fault_index_offset)
         elapsed = time.perf_counter() - start
     return MapResult(state.results, elapsed, used_backend, used_workers,
                      item_times=state.item_times, failures=state.failures,

@@ -23,14 +23,32 @@ from repro.parallel.executor import map_timesteps
 from repro.volume.io import load_volume
 
 
-def sequence_step_stems(directory) -> list[tuple[int, Path]]:
-    """``(time, stem)`` pairs for every step of a saved sequence."""
+def sequence_step_stems(directory, times=None) -> list[tuple[int, Path]]:
+    """``(time, stem)`` pairs for every step of a saved sequence.
+
+    ``times`` optionally restricts (and validates) the selection: a
+    requested step id missing from the manifest raises ``KeyError``
+    instead of being silently dropped.  The manifest's format version is
+    checked here, so every streaming consumer rejects an incompatible
+    directory up front rather than mid-run.
+    """
     directory = Path(directory)
     manifest = json.loads((directory / "sequence.json").read_text())
-    return [
+    version = manifest.get("format_version")
+    if version is not None and version != 1:
+        raise ValueError(f"unsupported sequence format version: {version}")
+    stems = [
         (int(time), directory / stem)
         for stem, time in zip(manifest["steps"], manifest["times"])
     ]
+    if times is None:
+        return stems
+    wanted = set(int(t) for t in times)
+    kept = [(t, stem) for t, stem in stems if t in wanted]
+    if len(kept) != len(wanted):
+        have = {t for t, _ in kept}
+        raise KeyError(f"missing time steps {sorted(wanted - have)} in {directory}")
+    return kept
 
 
 def stream_map(fn, directory, times=None, mmap: bool = False):
@@ -40,10 +58,7 @@ def stream_map(fn, directory, times=None, mmap: bool = False):
     they are produced so callers can also stream their consumption.
     """
     metrics = get_metrics()
-    wanted = set(int(t) for t in times) if times is not None else None
-    for time, stem in sequence_step_stems(directory):
-        if wanted is not None and time not in wanted:
-            continue
+    for time, stem in sequence_step_stems(directory, times=times):
         volume = load_volume(stem, mmap=mmap)
         with metrics.span("stream.step", time=time):
             result = fn(volume)
@@ -70,12 +85,9 @@ def stream_map_parallel(fn, directory, times=None, workers: int | None = None,
     returned step times cannot desync even if the directory is rewritten
     mid-call.
     """
-    wanted = set(int(t) for t in times) if times is not None else None
     items: list[tuple] = []
     kept_times: list[int] = []
-    for time, stem in sequence_step_stems(directory):
-        if wanted is not None and time not in wanted:
-            continue
+    for time, stem in sequence_step_stems(directory, times=times):
         items.append((fn, stem))
         kept_times.append(time)
     with get_metrics().span("stream.map_parallel", steps=len(items)):

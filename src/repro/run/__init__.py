@@ -1,0 +1,31 @@
+"""Crash-safe resumable pipeline runs (content-addressed artifact store).
+
+Public surface:
+
+- :class:`~repro.run.config.RunConfig` — validated run description;
+- :class:`~repro.run.store.ArtifactStore` / :func:`~repro.run.store.derive_key`
+  — input-addressed, integrity-verified artifact persistence;
+- :class:`~repro.run.manifest.RunManifest` — deterministic progress record;
+- :class:`~repro.run.runner.PipelineRunner` — the memoized stage walk
+  behind ``repro run`` / ``repro run --resume``.
+"""
+
+from repro.run.config import STAGE_ORDER, ConfigError, RunConfig
+from repro.run.manifest import ManifestError, RunManifest, StageRecord
+from repro.run.runner import PipelineRunner, RunError, RunReport
+from repro.run.store import ArtifactStore, IntegrityError, derive_key
+
+__all__ = [
+    "STAGE_ORDER",
+    "ArtifactStore",
+    "ConfigError",
+    "IntegrityError",
+    "ManifestError",
+    "PipelineRunner",
+    "RunConfig",
+    "RunError",
+    "RunManifest",
+    "RunReport",
+    "StageRecord",
+    "derive_key",
+]

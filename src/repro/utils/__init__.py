@@ -6,6 +6,7 @@ DESIGN.md section 5: every stochastic component takes an explicit seed or
 ``[z, y, x]``, and hot-path timing uses monotonic wall clocks.
 """
 
+from repro.utils.atomic import atomic_write_array, atomic_write_bytes, atomic_write_text
 from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.timing import Stopwatch, Timer, format_seconds
 from repro.utils.validation import (
@@ -21,6 +22,9 @@ __all__ = [
     "Stopwatch",
     "Timer",
     "as_generator",
+    "atomic_write_array",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "check_finite",
     "check_fraction",
     "check_positive",

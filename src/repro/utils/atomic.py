@@ -1,0 +1,46 @@
+"""Crash-safe file writes: temp file + ``os.replace``.
+
+A process dying mid-``write`` must never leave a truncated file under the
+final name — a later reader would parse garbage (a short ``.raw`` brick
+reshapes wrong; a half JSON manifest fails to parse; a clipped ``.npy``
+artifact decodes corrupt voxels).  POSIX rename is atomic within a
+filesystem, so every persistent writer in the repository funnels through
+these helpers: the payload lands under a unique temporary name in the
+*same directory* (same filesystem, so the final ``os.replace`` cannot
+degrade to a copy) and only a complete file is ever visible under the
+target path.  Readers consequently see either the old bytes, the new
+bytes, or nothing — never a prefix.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def atomic_write_bytes(path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` so a crash never leaves a partial file."""
+    path = Path(path)
+    tmp = path.parent / f"{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return path
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> Path:
+    """Text-mode convenience wrapper over :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_array(path, array) -> Path:
+    """Atomically persist ``array.tobytes()`` (raw C-order brick format)."""
+    import numpy as np
+
+    return atomic_write_bytes(path, np.ascontiguousarray(array).tobytes())

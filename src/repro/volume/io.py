@@ -12,6 +12,12 @@ Sequences are directories of those pairs plus a ``sequence.json`` manifest.
 Reads can be memory-mapped (``mmap=True``) so out-of-core pipelines touch
 only the bricks they stream (paper Sec. 4.2.2: "not all the data can fit in
 core").
+
+All writes are crash-safe: bricks and manifests land under a temporary
+name and are moved into place with ``os.replace``
+(:mod:`repro.utils.atomic`), so a process killed mid-save never leaves a
+truncated ``.raw`` that a later ``load_*`` would silently reshape into
+corrupt voxels.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.utils.atomic import atomic_write_array, atomic_write_text
 from repro.volume.grid import Volume, VolumeSequence
 
 _FORMAT_VERSION = 1
@@ -31,9 +38,9 @@ def save_volume(volume: Volume, stem) -> Path:
     stem = Path(stem)
     stem.parent.mkdir(parents=True, exist_ok=True)
     raw_path = stem.with_suffix(".raw")
-    volume.data.astype(np.float32).tofile(raw_path)
+    atomic_write_array(raw_path, volume.data.astype(np.float32))
     for mask_name, mask in volume.masks.items():
-        mask.astype(np.uint8).tofile(_mask_path(stem, mask_name))
+        atomic_write_array(_mask_path(stem, mask_name), mask.astype(np.uint8))
     meta = {
         "format_version": _FORMAT_VERSION,
         "shape": list(volume.shape),
@@ -43,7 +50,7 @@ def save_volume(volume: Volume, stem) -> Path:
         "masks": sorted(volume.masks),
     }
     json_path = stem.with_suffix(".json")
-    json_path.write_text(json.dumps(meta, indent=2))
+    atomic_write_text(json_path, json.dumps(meta, indent=2))
     return json_path
 
 
@@ -89,7 +96,7 @@ def save_sequence(sequence: VolumeSequence, directory) -> Path:
         "shape": list(sequence.shape),
     }
     manifest_path = directory / "sequence.json"
-    manifest_path.write_text(json.dumps(manifest, indent=2))
+    atomic_write_text(manifest_path, json.dumps(manifest, indent=2))
     return manifest_path
 
 

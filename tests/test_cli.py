@@ -170,3 +170,54 @@ class TestCLIVariants:
         assert main(["info", str(tmp_path / "c")]) == 0
         out = capsys.readouterr().out
         assert "mixing_layer" in out
+
+
+class TestRunCommand:
+    """Smoke tests for the crash-safe resumable runner's CLI surface."""
+
+    @pytest.fixture(scope="class")
+    def config_path(self, seqdir, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli_run") / "cfg.json"
+        path.write_text(json.dumps({
+            "sequence": str(seqdir),
+            "stages": ["tfs", "render"],
+            "render": {"size": 20, "export": "ppm"},
+        }))
+        return path
+
+    def test_run_then_resume(self, config_path, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        rc = main(["run", str(config_path), "--out", str(run_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stage tfs: complete" in out
+        assert "stage render: complete" in out
+        assert "10 executed, 0 skipped" in out
+        assert (run_dir / "manifest.json").exists()
+        assert len(list((run_dir / "frames").glob("frame_*.ppm"))) == 5
+
+        rc = main(["run", "--resume", str(run_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 10 skipped" in out
+
+    def test_new_run_requires_config_and_out(self, config_path, tmp_path):
+        with pytest.raises(SystemExit, match="--out"):
+            main(["run", str(config_path)])
+        with pytest.raises(SystemExit, match="config"):
+            main(["run", "--out", str(tmp_path / "r")])
+
+    def test_resume_rejects_extra_args(self, config_path, tmp_path):
+        with pytest.raises(SystemExit, match="run directory only"):
+            main(["run", str(config_path), "--resume", str(tmp_path)])
+
+    def test_bad_config_is_clean_error(self, seqdir, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"sequence": str(seqdir),
+                                   "stages": ["render"]}))
+        with pytest.raises(SystemExit, match="tfs"):
+            main(["run", str(bad), "--out", str(tmp_path / "r")])
+
+    def test_resume_missing_dir_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="config.json"):
+            main(["run", "--resume", str(tmp_path / "nothing")])

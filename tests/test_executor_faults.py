@@ -92,6 +92,66 @@ class TestFaultInjector:
             FaultInjector({-1: 2})
 
 
+class TestCrashMode:
+    def test_parse_crash_entries(self):
+        inj = parse_fault_spec("3:2,5:crash,7:crash")
+        assert inj.failures == {3: 2}
+        assert inj.crashes == frozenset({5, 7})
+        assert inj.should_crash(5) and not inj.should_crash(3)
+
+    def test_crash_beats_failure_schedule(self):
+        inj = FaultInjector({5: 1}, crashes={5})
+        assert inj.should_crash(5)
+
+    def test_negative_crash_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(crashes={-2})
+
+    def test_crash_kills_process_with_sigkill(self):
+        """The real thing, in a sacrificial subprocess: no cleanup runs."""
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.parallel.faults import parse_fault_spec\n"
+            "import atexit\n"
+            "atexit.register(lambda: print('CLEANUP RAN'))\n"
+            "parse_fault_spec('0:crash').maybe_raise(0, 1)\n"
+            "print('SURVIVED')\n"
+        )
+        result = subprocess.run([sys.executable, "-c", code],
+                                capture_output=True, text=True, timeout=60)
+        assert result.returncode == -9
+        assert "SURVIVED" not in result.stdout
+        assert "CLEANUP RAN" not in result.stdout
+
+
+class TestFaultIndexOffset:
+    def test_offset_shifts_schedule_addressing(self):
+        """With offset 10, local item 2 is global task 12: only a schedule
+        keyed on 12 hits it."""
+        out = map_timesteps(square, [1, 2, 3], backend="serial", retry=NO_BACKOFF,
+                            inject_faults={2: 1}, fault_index_offset=10)
+        assert out.retries == 0  # local index 2 is global 12, schedule says 2
+        out = map_timesteps(square, [1, 2, 3], backend="serial", retry=NO_BACKOFF,
+                            inject_faults={12: 1}, fault_index_offset=10)
+        assert out.retries == 1
+        assert out.results == [1, 4, 9]
+
+    def test_offset_in_process_backend(self):
+        out = map_timesteps(square, list(range(6)), backend="process", workers=2,
+                            retry=NO_BACKOFF, inject_faults={7: 1},
+                            fault_index_offset=4)
+        assert out.results == [x * x for x in range(6)]
+        assert out.retries == 1
+
+    def test_results_stay_locally_indexed(self):
+        """The offset only affects fault addressing, never result slots."""
+        out = map_timesteps(square, [5, 6], backend="serial",
+                            inject_faults={}, fault_index_offset=100)
+        assert out.results == [25, 36]
+
+
 class TestRetries:
     @pytest.mark.parametrize("backend,workers", [("serial", 1), ("process", 2)])
     def test_injected_fault_retried_to_success(self, backend, workers):

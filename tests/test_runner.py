@@ -1,0 +1,183 @@
+"""Tests for repro.run.runner: the memoized resumable stage walk."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import make_argon_sequence
+from repro.obs import get_metrics
+from repro.run import PipelineRunner, RunConfig, RunError
+from repro.volume.io import save_sequence
+
+
+@pytest.fixture(scope="module")
+def seqdir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("runner") / "argon"
+    sequence = make_argon_sequence(shape=(14, 18, 18), times=[195, 210, 225])
+    save_sequence(sequence, directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def seed_voxel(seqdir):
+    from repro.volume.io import load_sequence
+
+    sequence = load_sequence(seqdir)
+    z, y, x = np.argwhere(sequence[0].mask("ring"))[0]
+    return [0, int(z), int(y), int(x)]
+
+
+def fast_config(seqdir, **overrides):
+    payload = {
+        "sequence": str(seqdir),
+        "stages": ["tfs", "render"],
+        "render": {"size": 24},
+    }
+    payload.update(overrides)
+    return RunConfig.from_dict(payload)
+
+
+def full_config(seqdir, seed_voxel):
+    return RunConfig.from_dict({
+        "sequence": str(seqdir),
+        "stages": ["classify", "track", "tfs", "render"],
+        "classify": {"mask": "ring", "train_steps": [195], "samples": 30,
+                     "epochs": 30, "hidden": 8, "mode": "fast"},
+        "track": {"criterion": "classify", "seed_voxel": seed_voxel},
+        "render": {"size": 24},
+    })
+
+
+class TestRunLifecycle:
+    def test_fresh_run_completes(self, seqdir, tmp_path):
+        runner = PipelineRunner.create(fast_config(seqdir), tmp_path / "run")
+        report = runner.run()
+        assert report.stages == {"tfs": "complete", "render": "complete"}
+        assert report.executed == 6 and report.skipped == 0
+        assert (tmp_path / "run" / "manifest.json").exists()
+        assert (tmp_path / "run" / "config.json").exists()
+        assert (tmp_path / "run" / "stats.json").exists()
+
+    def test_rerun_skips_everything(self, seqdir, tmp_path):
+        PipelineRunner.create(fast_config(seqdir), tmp_path / "run").run()
+        report = PipelineRunner.resume(tmp_path / "run").run()
+        assert report.executed == 0
+        assert report.skipped == 6
+        counters = get_metrics().counter_values("run.tasks.")
+        assert counters["run.tasks.skipped"] == 6
+        assert counters.get("run.tasks.executed", 0) == 0
+
+    def test_create_refuses_existing_run(self, seqdir, tmp_path):
+        PipelineRunner.create(fast_config(seqdir), tmp_path / "run")
+        with pytest.raises(RunError, match="resume"):
+            PipelineRunner.create(fast_config(seqdir), tmp_path / "run")
+
+    def test_resume_requires_run_dir(self, tmp_path):
+        with pytest.raises(RunError, match="config.json"):
+            PipelineRunner.resume(tmp_path)
+
+    def test_resume_rejects_changed_config(self, seqdir, tmp_path):
+        runner = PipelineRunner.create(fast_config(seqdir), tmp_path / "run")
+        runner.run()
+        config_path = tmp_path / "run" / "config.json"
+        payload = json.loads(config_path.read_text())
+        payload["render"]["size"] = 48
+        config_path.write_text(json.dumps(payload))
+        with pytest.raises(RunError, match="different config"):
+            PipelineRunner.resume(tmp_path / "run")
+
+    def test_resume_survives_missing_manifest(self, seqdir, tmp_path):
+        """Crash before the first manifest write: config.json alone resumes."""
+        runner = PipelineRunner.create(fast_config(seqdir), tmp_path / "run")
+        report = PipelineRunner.resume(tmp_path / "run").run()
+        assert report.stages["render"] == "complete"
+
+    def test_stats_are_volatile_not_manifest(self, seqdir, tmp_path):
+        PipelineRunner.create(fast_config(seqdir), tmp_path / "run").run()
+        stats = json.loads((tmp_path / "run" / "stats.json").read_text())
+        assert stats["executed"] == 6
+        manifest = json.loads((tmp_path / "run" / "manifest.json").read_text())
+        assert "executed" not in json.dumps(manifest)
+        assert "timers" not in manifest
+
+
+class TestDeterminism:
+    def test_two_fresh_runs_bit_identical(self, seqdir, tmp_path):
+        """Same config, separate run dirs: manifests and stores match bytes."""
+        PipelineRunner.create(fast_config(seqdir), tmp_path / "a").run()
+        PipelineRunner.create(fast_config(seqdir), tmp_path / "b").run()
+        for rel in ("manifest.json", "config.json"):
+            assert ((tmp_path / "a" / rel).read_bytes()
+                    == (tmp_path / "b" / rel).read_bytes())
+        names_a = sorted(p.name for p in (tmp_path / "a" / "store").iterdir())
+        names_b = sorted(p.name for p in (tmp_path / "b" / "store").iterdir())
+        assert names_a == names_b
+        for name in names_a:
+            assert ((tmp_path / "a" / "store" / name).read_bytes()
+                    == (tmp_path / "b" / "store" / name).read_bytes())
+
+    def test_workers_do_not_change_fingerprint_or_keys(self, seqdir, tmp_path):
+        PipelineRunner.create(fast_config(seqdir), tmp_path / "a").run()
+        PipelineRunner.create(fast_config(seqdir, workers=2), tmp_path / "b").run()
+        manifest_a = json.loads((tmp_path / "a" / "manifest.json").read_text())
+        manifest_b = json.loads((tmp_path / "b" / "manifest.json").read_text())
+        assert manifest_a == manifest_b
+
+    def test_corrupt_artifact_recomputed(self, seqdir, tmp_path):
+        """A torn artifact is re-executed, not served."""
+        runner = PipelineRunner.create(fast_config(seqdir), tmp_path / "run")
+        runner.run()
+        victim = sorted((tmp_path / "run" / "store").glob("*.bin"))[0]
+        victim.write_bytes(b"torn")
+        report = PipelineRunner.resume(tmp_path / "run").run()
+        assert report.executed >= 1
+        final = PipelineRunner.resume(tmp_path / "run").run()
+        assert final.executed == 0
+
+
+class TestFullDag:
+    def test_all_four_stages(self, seqdir, seed_voxel, tmp_path):
+        report = PipelineRunner.create(full_config(seqdir, seed_voxel),
+                                       tmp_path / "run").run()
+        assert set(report.stages.values()) == {"complete"}
+        # 1 train + 3 classify + 1 track + 3 tfs + 3 render
+        assert report.executed == 11
+        manifest = json.loads((tmp_path / "run" / "manifest.json").read_text())
+        assert set(manifest["stages"]) == {"classify", "track", "tfs", "render"}
+        assert set(manifest["stages"]["classify"]["tasks"]) == {
+            "train", "step:000195", "step:000210", "step:000225"}
+
+    def test_tracked_masks_contain_the_seed(self, seqdir, seed_voxel, tmp_path):
+        runner = PipelineRunner.create(full_config(seqdir, seed_voxel),
+                                       tmp_path / "run")
+        runner.run()
+        manifest = json.loads((tmp_path / "run" / "manifest.json").read_text())
+        step = f"step:{195:06d}"
+        key = manifest["stages"]["track"]["tasks"][step]["key"]
+        mask = runner.store.get_array(key)
+        assert mask.dtype == np.uint8
+        assert mask[tuple(seed_voxel[1:])] == 1
+
+    def test_bad_seed_step_rejected(self, seqdir, tmp_path):
+        config = RunConfig.from_dict({
+            "sequence": str(seqdir),
+            "stages": ["track"],
+            "track": {"criterion": "fixed", "lo": 0.0, "hi": 1.0,
+                      "seed_voxel": [9, 1, 1, 1]},
+        })
+        runner = PipelineRunner.create(config, tmp_path / "run")
+        with pytest.raises(RunError, match="seed step"):
+            runner.run()
+
+
+class TestCrashGuards:
+    def test_crash_injection_with_workers_rejected(self, seqdir, tmp_path,
+                                                   monkeypatch):
+        from repro.parallel.faults import FAULT_ENV
+
+        monkeypatch.setenv(FAULT_ENV, "2:crash")
+        runner = PipelineRunner.create(fast_config(seqdir, workers=2),
+                                       tmp_path / "run")
+        with pytest.raises(RunError, match="workers=1"):
+            runner.run()

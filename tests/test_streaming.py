@@ -83,9 +83,9 @@ class TestStreamMapParallel:
         calls = []
         real = streaming.sequence_step_stems
 
-        def counting(directory):
+        def counting(directory, times=None):
             calls.append(directory)
-            return real(directory)
+            return real(directory, times=times)
 
         directory, sequence = saved_sequence
         monkeypatch.setattr(streaming, "sequence_step_stems", counting)

@@ -79,3 +79,51 @@ class TestSequenceRoundtrip:
         manifest = json.loads((tmp_path / "run" / "sequence.json").read_text())
         assert manifest["times"] == [5, 7]
         assert len(manifest["steps"]) == 2
+
+
+class TestAtomicWrites:
+    """Regression: saves must never leave a torn file at the final path.
+
+    Every artifact (raw voxels, masks, metadata, the sequence manifest)
+    is written to a same-directory temp file and renamed into place, so
+    a reader — or a crashed writer — can only ever observe the old
+    complete bytes or the new complete bytes.
+    """
+
+    def test_overwrite_preserves_readers_view(self, tmp_path):
+        vol_a = sample_volume(1)
+        save_volume(vol_a, tmp_path / "step")
+        before = (tmp_path / "step.raw").read_bytes()
+        vol_b = sample_volume(2)
+        vol_b = Volume(vol_b.data, time=1, name="sample",
+                       masks={"hot": vol_b.data > 0.5})
+        save_volume(vol_b, tmp_path / "step")
+        after = (tmp_path / "step.raw").read_bytes()
+        assert after != before
+        back = load_volume(tmp_path / "step")
+        assert np.array_equal(back.data, vol_b.data)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        seq = VolumeSequence([sample_volume(t) for t in (1, 2)])
+        save_sequence(seq, tmp_path / "run")
+        leftovers = [p for p in (tmp_path / "run").rglob("*") if ".tmp." in p.name]
+        assert leftovers == []
+
+    def test_interrupted_write_leaves_old_bytes(self, tmp_path, monkeypatch):
+        """Kill the write mid-flight (before the rename): the destination
+        still holds the previous complete volume."""
+        import repro.utils.atomic as atomic
+
+        save_volume(sample_volume(1), tmp_path / "step")
+        original = (tmp_path / "step.raw").read_bytes()
+
+        def exploding_replace(src, dst):
+            raise RuntimeError("simulated crash before rename")
+
+        monkeypatch.setattr(atomic.os, "replace", exploding_replace)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            save_volume(sample_volume(2), tmp_path / "step")
+        monkeypatch.undo()
+        assert (tmp_path / "step.raw").read_bytes() == original
+        back = load_volume(tmp_path / "step")
+        assert np.array_equal(back.data, sample_volume(1).data)
