@@ -17,12 +17,15 @@ Measured on the Fig. 9 vortex workload at 64^3 x 8 steps:
 - ``bricked``    — ``grow_bricked`` with ``strategy="auto"`` (routes to
   the sparse voxel-graph path at this fill), one process;
 - ``streaming``  — forward pass + refinement sweeps from a saved
-  sequence directory, with ``tracemalloc`` peak memory for both the
-  streaming and the eager path.
+  sequence directory (per-step sparse grows, masks skipped at load);
+  ``tracemalloc`` peak memory is measured in a separate pass for both
+  the streaming and the eager path, so the profiler's allocation
+  bookkeeping never pollutes the wall-clock numbers.
 
-Acceptance bars: bricked clears 2x over serial 4D, and streaming peak
-memory stays within 2 timestep working sets (float32 volume + criterion
-+ mask) while the eager path needs several times more.  Results land in
+Acceptance bars: bricked clears 2x over serial 4D, streaming matches
+serial 4D wall clock (>= 0.95x), and streaming peak memory stays within
+2 timestep working sets (float32 volume + criterion + mask) while the
+eager path needs several times more.  Results land in
 ``BENCH_tracking.json``; ``benchmarks/check_perf_regression.py`` gates
 the machine-relative ratios against the committed baseline in CI.
 """
@@ -49,6 +52,16 @@ LO, HI = 0.5, 10.0
 BRICKS_4D = (1, 32, 32, 32)
 
 
+def _best_of(fn, rounds: int = 3) -> float:
+    """Minimum wall-clock seconds over ``rounds`` calls of ``fn``."""
+    best = float("inf")
+    for _ in range(rounds):
+        with Timer() as t:
+            fn()
+        best = min(best, t.elapsed)
+    return best
+
+
 def _write_bench(name: str, payload: dict) -> Path:
     """Drop a ``BENCH_<name>.json`` next to the pytest cwd (CI artifact)."""
     out = Path(os.environ.get("REPRO_BENCH_DIR", ".")) / f"BENCH_{name}.json"
@@ -68,30 +81,39 @@ def test_tracking_throughput(benchmark):
     n_vox = int(criteria.size)
     step_working_set = int(np.prod(GRID)) * (4 + 1 + 1)  # f32 data + crit + mask
 
-    # --- wall clock: serial 4D reference vs bricked label-and-select ---
+    # --- wall clock: serial 4D reference vs bricked label-and-select.
+    # Every contender is timed best-of-N: at ~20ms per run, single-shot
+    # timings carry enough scheduler noise to swing the gated ratios.
     grow_4d(criteria[:2], [seed])  # warm scipy
-    with Timer() as t_serial:
-        serial = grow_4d(criteria, [seed])
-    with Timer() as t_bricked:
-        bricked = grow_bricked(criteria, [seed], brick_shape=BRICKS_4D)
+    t_serial = _best_of(lambda: grow_4d(criteria, [seed]))
+    serial = grow_4d(criteria, [seed])
+    t_bricked = _best_of(lambda: grow_bricked(criteria, [seed], brick_shape=BRICKS_4D))
+    bricked = grow_bricked(criteria, [seed], brick_shape=BRICKS_4D)
     grow_strategy = last_label_stats.get("strategy", "dense")
     assert np.array_equal(bricked, serial)
 
-    # --- streaming from disk: wall clock + peak memory ---
+    # --- streaming from disk: wall clock and peak memory in *separate*
+    # passes.  tracemalloc adds per-allocation bookkeeping that inflates
+    # allocation-heavy wall clock by ~30-40%, and serial4d above is timed
+    # without it — timing under the profiler would compare unlike things.
     tracker = FeatureTracker()
     with tempfile.TemporaryDirectory() as tmp:
         seqdir = str(Path(tmp) / "seq")
         save_sequence(sequence, seqdir)
+        t_streaming = _best_of(
+            lambda: tracker.track_streaming(seqdir, seed, lo=LO, hi=HI))
+        streamed = tracker.track_streaming(seqdir, seed, lo=LO, hi=HI)
         tracemalloc.start()
-        with Timer() as t_streaming:
-            streamed = tracker.track_streaming(seqdir, seed, lo=LO, hi=HI)
+        memory_run = tracker.track_streaming(seqdir, seed, lo=LO, hi=HI)
         _, stream_peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()
     assert np.array_equal(streamed.masks, serial)
+    assert np.array_equal(memory_run.masks, serial)
 
+    t_eager = _best_of(lambda: tracker.track_fixed(sequence, seed, LO, HI))
+    eager = tracker.track_fixed(sequence, seed, LO, HI)
     tracemalloc.start()
-    with Timer() as t_eager:
-        eager = tracker.track_fixed(sequence, seed, LO, HI)
+    tracker.track_fixed(sequence, seed, LO, HI)
     _, eager_peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     assert np.array_equal(eager.masks, serial)
@@ -102,10 +124,10 @@ def test_tracking_throughput(benchmark):
     )
 
     timings = {
-        "serial4d": t_serial.elapsed,
-        "bricked": t_bricked.elapsed,
-        "streaming": t_streaming.elapsed,
-        "eager_track_fixed": t_eager.elapsed,
+        "serial4d": t_serial,
+        "bricked": t_bricked,
+        "streaming": t_streaming,
+        "eager_track_fixed": t_eager,
     }
     print(f"\n4D tracking, {GRID[0]}^3 x {len(TIMES)} steps = {n_vox} voxels:")
     print(f"{'path':>18} {'seconds':>9} {'Mvox/s':>8} {'vs serial4d':>11}")
@@ -135,7 +157,10 @@ def test_tracking_throughput(benchmark):
     })
 
     # Acceptance bars: bricked growth clears 2x over the serial 4D path,
-    # and streaming holds peak memory within ~2 timestep working sets.
+    # streaming matches serial wall clock (per-step sparse grows + a
+    # mask-free loader erased the old 0.74x regression) while holding
+    # peak memory within ~2 timestep working sets.
     assert timings["serial4d"] / timings["bricked"] >= 2.0
+    assert timings["serial4d"] / timings["streaming"] >= 0.95
     assert stream_peak <= 2.0 * step_working_set
     assert eager_peak / stream_peak >= 2.0

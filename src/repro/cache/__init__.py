@@ -1,0 +1,23 @@
+"""Shared caching primitives: content-addressed store + cross-process backend.
+
+:mod:`repro.cache.store` holds the artifact store (input-addressed keys,
+atomic payload-then-sidecar writes, integrity-checked reads) that both
+the resumable runner and the shared cache build on;
+:mod:`repro.cache.shared` is the on-disk cache backend that lets the
+classify brick cache and the render frame cache compose with the
+process task farm.
+"""
+
+from repro.cache.shared import (
+    SharedArrayCache,
+    default_cache_root,
+)
+from repro.cache.store import ArtifactStore, IntegrityError, derive_key
+
+__all__ = [
+    "ArtifactStore",
+    "IntegrityError",
+    "SharedArrayCache",
+    "default_cache_root",
+    "derive_key",
+]

@@ -206,14 +206,11 @@ def cmd_classify(args) -> int:
             negative_mask=_sample_mask(~gt, args.samples, rng),
         )
     classifier.train(epochs=args.epochs)
-    # The temporal-coherence cache is in-process state: it forces serial
-    # execution (classify_sequence enforces this), so drop the fan-out.
-    workers = 1 if args.cache else args.workers
-    backend = "serial" if args.cache or workers <= 1 else "process"
+    backend = "process" if args.workers > 1 else "serial"
     results = classify_sequence(
-        classifier, sequence, workers=workers, backend=backend,
+        classifier, sequence, workers=args.workers, backend=backend,
         retry=args.retries, on_error=args.on_error, mode=args.mode,
-        prune=args.prune, cache=True if args.cache else None,
+        prune=args.prune, cache=args.cache,
     )
     print(f"shell radius: {radius}  mode: {args.mode}"
           f"{'  prune' if args.prune else ''}{'  cache' if args.cache else ''}")
@@ -256,8 +253,6 @@ def cmd_render(args) -> int:
     backend = "process" if args.workers > 1 else "serial"
     if not args.fast and (args.tiles is not None or args.ert_alpha != ALPHA_CUTOFF):
         raise SystemExit("--tiles/--ert-alpha tune the fast path; add --fast")
-    if args.cache and args.workers > 1:
-        raise SystemExit("--cache keeps frames in-process; drop --workers to use it")
     fast_options = None
     if args.fast:
         fast_options = {"ert_alpha": args.ert_alpha, "cell": args.cell}
@@ -268,7 +263,7 @@ def cmd_render(args) -> int:
         shading=not args.no_shading, workers=args.workers, backend=backend,
         transport=args.transport, retry=args.retries, on_error=args.on_error,
         mode="fast" if args.fast else "exact", fast_options=fast_options,
-        cache=True if args.cache else None,
+        cache=args.cache,
     )
     for vol, image in zip(sequence, images):
         if image is None:
@@ -279,6 +274,11 @@ def cmd_render(args) -> int:
         else:
             path = image.save_ppm(outdir / f"frame_{vol.time:06d}.ppm")
         print(f"step {vol.time}: coverage {image.coverage():.3f} -> {path}")
+    counters = get_metrics().counter_values("render.frame_cache.")
+    if counters:
+        print("frame cache: "
+              + "  ".join(f"{k.removeprefix('render.frame_cache.')}={v}"
+                          for k, v in sorted(counters.items())))
     return 0
 
 
@@ -436,9 +436,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prune", action="store_true",
                    help="skip blocks whose certified certainty upper bound "
                         "is below threshold (fast path only)")
-    p.add_argument("--cache", action="store_true",
-                   help="temporal-coherence brick cache across steps "
-                        "(fast path only; forces serial execution)")
+    p.add_argument("--cache", nargs="?", const="shared", default=None,
+                   metavar="DIR",
+                   help="temporal-coherence brick cache across steps (fast "
+                        "path only), backed by the shared on-disk store so "
+                        "it composes with --workers; DIR overrides the "
+                        "default cache root (~/.cache/repro/shared)")
     p.add_argument("--out", help="directory for per-step certainty .npy files")
     p.add_argument("--workers", type=_positive_int, default=1)
     _add_farm_options(p)
@@ -470,9 +473,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "tail for speed")
     p.add_argument("--cell", type=_positive_int, default=8,
                    help="fast-path macro-cell edge in voxels")
-    p.add_argument("--cache", action="store_true",
+    p.add_argument("--cache", nargs="?", const="shared", default=None,
+                   metavar="DIR",
                    help="reuse frames whose content digest repeats across "
-                        "steps (forces serial rendering)")
+                        "steps, backed by the shared on-disk store so it "
+                        "composes with --workers; DIR overrides the default "
+                        "cache root (~/.cache/repro/shared)")
     p.add_argument("--format", choices=["ppm", "png"], default="ppm",
                    help="frame file format")
     _add_farm_options(p)

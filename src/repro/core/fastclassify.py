@@ -40,6 +40,9 @@ allows, four ideas deep:
    re-classification, streaming replay, or consecutive steps (when the
    extractor carries no time feature) skip inference and are copied from
    the cache; hit/miss counts flow to the :mod:`repro.obs` metrics layer.
+   With a shared on-disk store plugged in (``store=``, see
+   :mod:`repro.cache.shared`) the reuse extends across worker processes
+   and runs.
 
 The float64 gather path stays available as ``mode="exact"`` — it is the
 equivalence reference (max |Δcertainty| ≤ 1e-3, exact 0.5-threshold mask
@@ -68,14 +71,25 @@ class TemporalCoherenceCache:
     (when the extractor uses one), and a digest of the folded network
     weights — so a hit is only possible when the cached certainty block is
     bit-for-bit what inference would recompute.  Values are float32
-    certainty blocks.  ``max_entries`` bounds memory; least-recently-used
-    entries are evicted.
+    certainty blocks, stored and returned **read-only** (mutating a
+    returned block raises instead of silently poisoning every future
+    hit).  ``max_entries`` bounds memory; least-recently-used entries are
+    evicted.
+
+    ``store`` optionally plugs in a shared backend (anything with
+    ``load(key) -> ndarray | None`` and ``save(key, ndarray)``, e.g.
+    :class:`repro.cache.shared.SharedArrayCache`): the in-memory LRU then
+    acts as a per-process L1 over a cross-process on-disk namespace —
+    puts write through, memory misses fall through to the store — which
+    is what lets cached classification and rendering fan out to worker
+    processes.
     """
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    def __init__(self, max_entries: int = 4096, store=None) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
+        self.store = store
         self._store: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -83,11 +97,23 @@ class TemporalCoherenceCache:
     def __len__(self) -> int:
         return len(self._store)
 
+    def _insert(self, key, value: np.ndarray) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+
     def get(self, key):
         """Cached block for ``key``, or ``None`` (counts hit/miss)."""
         try:
             value = self._store[key]
         except KeyError:
+            if self.store is not None:
+                value = self.store.load(key)
+                if value is not None:
+                    self._insert(key, value)
+                    self.hits += 1
+                    return value
             self.misses += 1
             return None
         self._store.move_to_end(key)
@@ -95,15 +121,34 @@ class TemporalCoherenceCache:
         return value
 
     def put(self, key, value: np.ndarray) -> None:
-        """Store a classified block, evicting LRU entries past the cap."""
-        self._store[key] = value
-        self._store.move_to_end(key)
-        while len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
+        """Store a classified block, evicting LRU entries past the cap.
+
+        The stored array is frozen (``flags.writeable = False``); views
+        are copied first so the freeze cannot be bypassed through a
+        writable base.
+        """
+        value = np.asarray(value)
+        if value.base is not None:
+            value = value.copy()
+        value.flags.writeable = False
+        self._insert(key, value)
+        if self.store is not None:
+            self.store.save(key, value)
 
     def clear(self) -> None:
-        """Drop all entries (hit/miss statistics are kept)."""
+        """Drop all in-memory entries (hit/miss statistics are kept)."""
         self._store.clear()
+
+    def worker_clone(self) -> "TemporalCoherenceCache":
+        """An empty cache over the same shared store.
+
+        Process fan-out gives each task payload one of these: the L1
+        starts cold (nothing rides the pickle) and all cross-step reuse
+        flows through the shared store, whose hit/miss tallies return on
+        the task result.
+        """
+        return TemporalCoherenceCache(max_entries=self.max_entries,
+                                      store=self.store)
 
 
 @dataclass

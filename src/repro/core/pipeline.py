@@ -18,8 +18,11 @@ forwards to the task farm (``retry=`` / ``on_error=``) — with
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
+from repro.cache.shared import SharedArrayCache
 from repro.core.dataspace import DataSpaceClassifier
 from repro.core.iatf import AdaptiveTransferFunction
 from repro.obs import get_metrics
@@ -49,15 +52,93 @@ def _use_shm(transport: str, backend: str, workers, n_items: int) -> bool:
     return fan_out and HAS_SHARED_MEMORY
 
 
-def _classify_one(payload) -> np.ndarray:
+def _resolve_cache(cache, backend: str, kind: str):
+    """Resolve a ``cache=`` spec into ``(cache, shared, backend)``.
+
+    ``None`` passes through.  ``True`` or an existing
+    :class:`~repro.core.fastclassify.TemporalCoherenceCache` without a
+    store is purely in-process state: it forces the serial backend and
+    refuses ``backend="process"``.  ``"shared"``, a directory path, a
+    :class:`~repro.cache.shared.SharedArrayCache`, or a cache already
+    wired to a store resolves to the on-disk cross-process namespace,
+    which composes with every backend.
+    """
+    if cache is None:
+        return None, False, backend
+    from repro.core.fastclassify import TemporalCoherenceCache
+
+    if cache is True:
+        cache = TemporalCoherenceCache()
+    elif isinstance(cache, (str, Path)):
+        root = None if cache == "shared" else cache
+        cache = TemporalCoherenceCache(store=SharedArrayCache(root))
+    elif isinstance(cache, SharedArrayCache):
+        cache = TemporalCoherenceCache(store=cache)
+    if getattr(cache, "store", None) is not None:
+        return cache, True, backend
+    if backend == "process":
+        raise ValueError(
+            f"an in-memory cache requires in-process execution (its {kind} "
+            "cannot be shared across worker processes); use backend='serial' "
+            "or 'auto', or pass cache='shared' (or a cache directory path) "
+            "for the on-disk cross-process backend")
+    return cache, False, "serial"
+
+
+def _task_caches(cache, shared: bool, fan_out: bool, n_items: int) -> list:
+    """Per-task cache objects: clones over the shared store when fanning
+    out (nothing rides the pickle), the one live object otherwise."""
+    if cache is not None and shared and fan_out:
+        return [cache.worker_clone() for _ in range(n_items)]
+    return [cache] * n_items
+
+
+def _classify_one(payload) -> tuple:
     classifier, volume, opts = payload
-    return classifier.classify(volume, **opts)
+    # A classifier pickled mid-session can carry stats from an earlier
+    # call; clear them so only *this* task's work rides back.
+    classifier.last_fast_stats = None
+    result = classifier.classify(volume, **opts)
+    return result, classifier.last_fast_stats
 
 
-def _classify_one_shm(payload) -> np.ndarray:
+def _classify_one_shm(payload) -> tuple:
     classifier, handle, opts = payload
+    classifier.last_fast_stats = None
     with OpenSharedVolume(handle) as volume:
-        return classifier.classify(volume, **opts)
+        result = classifier.classify(volume, **opts)
+    return result, classifier.last_fast_stats
+
+
+_CLASSIFY_STAT_KEYS = ("voxels", "blocks_total", "blocks_pruned",
+                       "cache_hits", "cache_misses")
+
+
+def _unwrap_classify(outcome) -> list:
+    """Split (result, stats) task tuples; aggregate worker-side counters.
+
+    :meth:`DataSpaceClassifier.classify` already feeds the ``classify.*``
+    counters in-process, which is the parent itself on the serial
+    backend — so ridden stats are folded in only when the map actually
+    fanned out to workers (whose registries died with them).
+    """
+    results = []
+    totals = dict.fromkeys(_CLASSIFY_STAT_KEYS, 0)
+    for item in outcome.results:
+        if item is None:
+            results.append(None)
+            continue
+        result, stats = item
+        results.append(result)
+        if stats:
+            for key in _CLASSIFY_STAT_KEYS:
+                totals[key] += int(stats.get(key, 0))
+    if outcome.backend == "process":
+        metrics = get_metrics()
+        for key, value in totals.items():
+            if value:
+                metrics.counter(f"classify.{key}").inc(value)
+    return results
 
 
 def classify_sequence(classifier: DataSpaceClassifier, sequence: VolumeSequence,
@@ -73,37 +154,37 @@ def classify_sequence(classifier: DataSpaceClassifier, sequence: VolumeSequence,
     pattern of Sec. 8, without re-pickling the volume per task).
 
     ``mode``/``prune`` forward to :meth:`DataSpaceClassifier.classify`.
-    ``cache`` enables temporal-coherence reuse across steps: pass ``True``
-    for a fresh :class:`~repro.core.fastclassify.TemporalCoherenceCache`
-    or an existing instance to keep warm state between calls.  The cache
-    is in-process state, so it forces the serial backend — bricks classified
-    at step *t* must be visible when step *t+1* runs; requesting
-    ``backend="process"`` together with a cache is an error.
+    ``cache`` enables temporal-coherence reuse across steps:
+
+    - ``True`` or a :class:`~repro.core.fastclassify.TemporalCoherenceCache`
+      instance (to keep warm state between calls) is in-process state —
+      it forces the serial backend, and requesting ``backend="process"``
+      with it is an error;
+    - ``"shared"``, a cache directory path, or a
+      :class:`~repro.cache.shared.SharedArrayCache` routes blocks through
+      the on-disk cross-process store, which composes with any backend
+      and ``workers`` — every worker reads and writes one
+      content-addressed namespace, and hit/miss counts ride the task
+      results back into the parent's ``classify.*`` counters.
     """
-    if cache is True:
-        from repro.core.fastclassify import TemporalCoherenceCache
-        cache = TemporalCoherenceCache()
-    if cache is not None:
-        if backend == "process":
-            raise ValueError(
-                "cache requires in-process execution (its hit state cannot "
-                "be shared across worker processes); use backend='serial' "
-                "or 'auto'")
-        backend = "serial"
-    opts = {"mode": mode, "prune": prune, "cache": cache}
+    cache, shared, backend = _resolve_cache(cache, backend, "hit state")
+    fan_out = will_use_processes(backend, workers, len(sequence))
+    caches = _task_caches(cache, shared, fan_out, len(sequence))
+    opts = [{"mode": mode, "prune": prune, "cache": c} for c in caches]
     with get_metrics().span("pipeline.classify_sequence", steps=len(sequence),
                             mode=mode, prune=bool(prune),
-                            cached=cache is not None):
+                            cached=cache is not None, shared_cache=shared):
         if _use_shm(transport, backend, workers, len(sequence)):
             with SharedVolumeArena() as arena:
-                payloads = [(classifier, arena.share(vol), opts) for vol in sequence]
+                payloads = [(classifier, arena.share(vol), o)
+                            for vol, o in zip(sequence, opts)]
                 outcome = map_timesteps(_classify_one_shm, payloads, workers=workers,
                                         backend=backend, retry=retry, on_error=on_error)
         else:
-            payloads = [(classifier, vol, opts) for vol in sequence]
+            payloads = [(classifier, vol, o) for vol, o in zip(sequence, opts)]
             outcome = map_timesteps(_classify_one, payloads, workers=workers,
                                     backend=backend, retry=retry, on_error=on_error)
-    return outcome.results
+    return _unwrap_classify(outcome)
 
 
 def _generate_tf_one(payload) -> TransferFunction1D:
@@ -176,25 +257,63 @@ def frame_digest(volume, tf: TransferFunction1D, camera: Camera, step: float,
     )
 
 
-def _render_one(payload):
-    volume, tf, camera, step, shading, mode, fast_opts, cache, sig = payload
+def _render_cached(volume, tf, camera, step, shading, mode, fast_opts,
+                   cache, sig) -> tuple:
+    """Render one frame through the optional frame cache.
+
+    Returns ``(image, stats)`` — the hit/miss tally rides the task result
+    so the parent can aggregate ``render.frame_cache.*`` counters even
+    when this ran in a worker process whose own registry dies with it.
+    """
     if cache is not None:
         key = frame_digest(volume, tf, camera, step, shading, sig)
         pixels = cache.get(key)
         if pixels is not None:
-            get_metrics().counter("render.frame_cache.hits").inc()
-            return Image.from_array(pixels)
-        get_metrics().counter("render.frame_cache.misses").inc()
+            return Image.from_array(pixels), {"hits": 1, "misses": 0}
     image = _render_frame(volume, tf, camera, step, shading, mode, fast_opts)
     if cache is not None:
         cache.put(key, image.pixels.copy())
-    return image
+        return image, {"hits": 0, "misses": 1}
+    return image, None
+
+
+def _render_one(payload):
+    volume, tf, camera, step, shading, mode, fast_opts, cache, sig = payload
+    return _render_cached(volume, tf, camera, step, shading, mode, fast_opts,
+                          cache, sig)
 
 
 def _render_one_shm(payload):
-    handle, tf, camera, step, shading, mode, fast_opts = payload
+    handle, tf, camera, step, shading, mode, fast_opts, cache, sig = payload
     with OpenSharedVolume(handle) as volume:
-        return _render_frame(volume, tf, camera, step, shading, mode, fast_opts)
+        return _render_cached(volume, tf, camera, step, shading, mode,
+                              fast_opts, cache, sig)
+
+
+def _unwrap_render(outcome) -> list:
+    """Split (image, stats) task tuples; total the frame-cache counters.
+
+    Unlike classify, the workers never touch the counters themselves, so
+    the parent aggregates unconditionally — one code path for serial and
+    process backends.
+    """
+    results = []
+    hits = misses = 0
+    for item in outcome.results:
+        if item is None:
+            results.append(None)
+            continue
+        image, stats = item
+        results.append(image)
+        if stats:
+            hits += stats["hits"]
+            misses += stats["misses"]
+    metrics = get_metrics()
+    if hits:
+        metrics.counter("render.frame_cache.hits").inc(hits)
+    if misses:
+        metrics.counter("render.frame_cache.misses").inc(misses)
+    return results
 
 
 def render_sequence(sequence: VolumeSequence, tfs, camera: Camera | None = None,
@@ -217,13 +336,17 @@ def render_sequence(sequence: VolumeSequence, tfs, camera: Camera | None = None,
     forced in-process (one pool, no nesting); give the fast path its tile
     workers by keeping the sequence map serial.
 
-    ``cache`` enables content-keyed frame reuse: pass ``True`` for a
-    fresh :class:`~repro.core.fastclassify.TemporalCoherenceCache` or an
-    existing instance to keep frames warm across calls.  Keys cover
-    volume + TF + camera + renderer (:func:`frame_digest`), so a hit
-    returns bit-identical pixels.  Like the classify cache it is
-    in-process state and forces the serial backend; combining it with
-    ``backend="process"`` is an error.
+    ``cache`` enables content-keyed frame reuse.  Keys cover volume + TF
+    + camera + renderer (:func:`frame_digest`), so a hit returns
+    bit-identical pixels.  ``True`` or a
+    :class:`~repro.core.fastclassify.TemporalCoherenceCache` instance (to
+    keep frames warm across calls) is in-process state — it forces the
+    serial backend, and ``backend="process"`` with it is an error;
+    ``"shared"``, a cache directory path, or a
+    :class:`~repro.cache.shared.SharedArrayCache` routes frames through
+    the on-disk cross-process store and composes with any backend and
+    ``workers``, with hit/miss counts riding the task results back to the
+    parent's ``render.frame_cache.*`` counters.
     """
     camera = camera or Camera()
     if mode not in ("exact", "fast"):
@@ -235,39 +358,39 @@ def render_sequence(sequence: VolumeSequence, tfs, camera: Camera | None = None,
     tfs = list(tfs)
     if len(tfs) != len(sequence):
         raise ValueError(f"need one TF per step: got {len(tfs)} TFs for {len(sequence)} steps")
-    if cache is True:
-        from repro.core.fastclassify import TemporalCoherenceCache
-        cache = TemporalCoherenceCache()
-    if cache is not None:
-        if backend == "process":
-            raise ValueError(
-                "cache requires in-process execution (its frame store cannot "
-                "be shared across worker processes); use backend='serial' "
-                "or 'auto'")
-        backend = "serial"
+    cache, shared, backend = _resolve_cache(cache, backend, "frame store")
     fast_opts = dict(fast_options or {})
-    if mode == "fast" and will_use_processes(backend, workers, len(sequence)):
+    fan_out = will_use_processes(backend, workers, len(sequence))
+    if mode == "fast" and fan_out:
         # The per-step fan-out owns the process pool; nesting a tile pool
         # inside each worker would oversubscribe, so tiles stay in-process.
         fast_opts["workers"] = 1
         fast_opts["backend"] = "serial"
-    sig = "exact" if mode == "exact" else f"fast:{sorted(fast_opts.items())!r}"
+    caches = _task_caches(cache, shared, fan_out, len(sequence))
+    # The renderer signature covers only pixel-affecting options: how the
+    # tiles were scheduled (workers/backend) cannot change the frame, and
+    # folding it in would stop serial and fanned runs from sharing cache
+    # entries.
+    render_opts = {k: v for k, v in fast_opts.items()
+                   if k not in ("workers", "backend")}
+    sig = "exact" if mode == "exact" else f"fast:{sorted(render_opts.items())!r}"
     with get_metrics().span("pipeline.render_sequence", steps=len(sequence),
-                            mode=mode, cached=cache is not None):
-        if cache is None and _use_shm(transport, backend, workers, len(sequence)):
+                            mode=mode, cached=cache is not None,
+                            shared_cache=shared):
+        if _use_shm(transport, backend, workers, len(sequence)):
             with SharedVolumeArena() as arena:
                 payloads = [(arena.share(vol), tf, camera, step, shading,
-                             mode, fast_opts)
-                            for vol, tf in zip(sequence, tfs)]
+                             mode, fast_opts, c, sig)
+                            for vol, tf, c in zip(sequence, tfs, caches)]
                 outcome = map_timesteps(_render_one_shm, payloads, workers=workers,
                                         backend=backend, retry=retry, on_error=on_error)
         else:
             payloads = [(vol, tf, camera, step, shading, mode, fast_opts,
-                         cache, sig)
-                        for vol, tf in zip(sequence, tfs)]
+                         c, sig)
+                        for vol, tf, c in zip(sequence, tfs, caches)]
             outcome = map_timesteps(_render_one, payloads, workers=workers,
                                     backend=backend, retry=retry, on_error=on_error)
-    return outcome.results
+    return _unwrap_render(outcome)
 
 
 def extraction_masks(certainties, threshold: float = 0.5) -> np.ndarray:

@@ -292,15 +292,20 @@ def grow_sparse(criterion, seeds, connectivity: int = 1) -> np.ndarray:
     _structure(criterion.ndim, connectivity)
     metrics = get_metrics()
     with metrics.span("fastgrow.sparse_grow", voxels=int(criterion.size)):
-        flat, comp, n_comps = _sparse_components(criterion, connectivity)
         out = np.zeros(criterion.size, dtype=bool)
         stats = {"strategy": "sparse", "bricks": 0, "brick_labels": [],
-                 "merge_pairs": 0, "merge_unions": 0, "components": n_comps,
-                 "set_voxels": int(flat.size), "backend": "inline",
-                 "workers": 1, "connectivity": int(connectivity)}
-        if n_comps:
-            seed_flat = np.flatnonzero((seed_mask & criterion).ravel())
-            if seed_flat.size:
+                 "merge_pairs": 0, "merge_unions": 0, "components": 0,
+                 "set_voxels": int(np.count_nonzero(criterion)),
+                 "backend": "inline", "workers": 1,
+                 "connectivity": int(connectivity)}
+        seed_flat = np.flatnonzero((seed_mask & criterion).ravel())
+        # No seed survives the criterion: the grown region is empty, so
+        # skip the component pass entirely (the streaming tracker hits
+        # this whenever a feature dies between steps).
+        if seed_flat.size:
+            flat, comp, n_comps = _sparse_components(criterion, connectivity)
+            stats["components"] = n_comps
+            if n_comps:
                 pos = np.searchsorted(flat, seed_flat)
                 selected = np.zeros(n_comps, dtype=bool)
                 selected[comp[pos]] = True

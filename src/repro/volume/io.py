@@ -54,12 +54,15 @@ def save_volume(volume: Volume, stem) -> Path:
     return json_path
 
 
-def load_volume(stem, mmap: bool = False) -> Volume:
+def load_volume(stem, mmap: bool = False, masks: bool = True) -> Volume:
     """Load a volume written by :func:`save_volume`.
 
     With ``mmap=True`` the voxel brick is memory-mapped read-only; the
     returned Volume still converts to float32 on construction, so mmap pays
     off mainly for masks and for callers slicing before converting.
+    ``masks=False`` skips the ground-truth mask bricks entirely — streaming
+    consumers that only evaluate a value criterion save one read and two
+    volume-sized allocations per step.
     """
     stem = Path(stem)
     meta = json.loads(stem.with_suffix(".json").read_text())
@@ -72,11 +75,12 @@ def load_volume(stem, mmap: bool = False) -> Volume:
         data = np.asarray(data)
     else:
         data = np.fromfile(raw_path, dtype=np.float32).reshape(shape)
-    masks = {}
-    for mask_name in meta.get("masks", []):
-        mask = np.fromfile(_mask_path(stem, mask_name), dtype=np.uint8).reshape(shape)
-        masks[mask_name] = mask.astype(bool)
-    return Volume(data, time=int(meta["time"]), name=meta.get("name", ""), masks=masks)
+    loaded = {}
+    if masks:
+        for mask_name in meta.get("masks", []):
+            mask = np.fromfile(_mask_path(stem, mask_name), dtype=np.uint8).reshape(shape)
+            loaded[mask_name] = mask.astype(bool)
+    return Volume(data, time=int(meta["time"]), name=meta.get("name", ""), masks=loaded)
 
 
 def save_sequence(sequence: VolumeSequence, directory) -> Path:

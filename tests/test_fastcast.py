@@ -415,7 +415,7 @@ class TestCliFastPath:
         out = tmp_path / "frames"
         rc = main(["render", str(seqdir), "--out", str(out), "--size", "16",
                    "--fast", "--tiles", "8", "--ert-alpha", "0.9",
-                   "--format", "png", "--cache"])
+                   "--format", "png", "--cache", str(tmp_path / "cache")])
         assert rc == 0
         frames = sorted(out.glob("frame_*.png"))
         assert len(frames) == 2
@@ -440,8 +440,15 @@ class TestCliFastPath:
             main(["render", str(seqdir), "--out", str(tmp_path / "x"),
                   "--tiles", "8"])
 
-    def test_cache_conflicts_with_workers(self, seqdir, tmp_path):
+    def test_cache_composes_with_workers(self, seqdir, tmp_path):
+        """--cache DIR rides the shared on-disk store, so fanning out is
+        no longer rejected: frames land and the store fills."""
         from repro.cli import main
-        with pytest.raises(SystemExit, match="cache"):
-            main(["render", str(seqdir), "--out", str(tmp_path / "x"),
-                  "--cache", "--workers", "2"])
+        out = tmp_path / "frames"
+        cachedir = tmp_path / "cache"
+        rc = main(["render", str(seqdir), "--out", str(out),
+                   "--size", "16", "--fast",
+                   "--cache", str(cachedir), "--workers", "2"])
+        assert rc == 0
+        assert len(sorted(out.glob("frame_*.ppm"))) == 2
+        assert any(cachedir.rglob("*.bin"))

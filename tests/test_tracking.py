@@ -145,3 +145,43 @@ class TestTrackWithCriteria:
         stack = np.zeros((2, *vortex_small.shape), dtype=bool)
         with pytest.raises(ValueError):
             FeatureTracker().track_with_criteria(vortex_small, stack, (0, 0, 0, 0))
+
+
+class TestTrackStreamingPrefetch:
+    """``prefetch=True`` must change wall-clock behaviour only: identical
+    masks, loads riding the background producer thread."""
+
+    @pytest.fixture()
+    def vortex_dir(self, vortex_small, tmp_path):
+        from repro.volume.io import save_sequence
+
+        seqdir = tmp_path / "seq"
+        save_sequence(vortex_small, str(seqdir))
+        return str(seqdir)
+
+    def _seed(self, vortex_small):
+        first = vortex_small[0]
+        coords = np.argwhere(first.mask("vortex"))
+        return (0, *map(int, coords[0]))
+
+    def test_prefetch_bit_identical(self, vortex_small, vortex_dir):
+        seed = self._seed(vortex_small)
+        plain = FeatureTracker().track_streaming(vortex_dir, seed,
+                                                 lo=0.5, hi=10.0)
+        prefetched = FeatureTracker().track_streaming(vortex_dir, seed,
+                                                      lo=0.5, hi=10.0,
+                                                      prefetch=True)
+        assert np.array_equal(prefetched.masks, plain.masks)
+        assert prefetched.sweeps == plain.sweeps
+
+    def test_prefetch_counter_rides_loads(self, vortex_small, vortex_dir):
+        from repro.obs import get_metrics
+
+        seed = self._seed(vortex_small)
+        metrics = get_metrics()
+        before = metrics.counter_values().get("stream.prefetched", 0)
+        FeatureTracker().track_streaming(vortex_dir, seed, lo=0.5, hi=10.0,
+                                         prefetch=True, refine=False)
+        after = metrics.counter_values().get("stream.prefetched", 0)
+        # One prefetched load per step of the single forward pass.
+        assert after - before == len(vortex_small)

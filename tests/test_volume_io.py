@@ -37,6 +37,17 @@ class TestVolumeRoundtrip:
         assert meta["shape"] == [4, 5, 6]
         assert meta["masks"] == ["hot"]
 
+    def test_masks_false_skips_mask_bricks(self, tmp_path):
+        """``masks=False`` loads voxels only — and never even opens the
+        mask brick files (streaming consumers skip that I/O per step)."""
+        vol = sample_volume()
+        save_volume(vol, tmp_path / "step")
+        mask_brick = tmp_path / "step.hot.mask.raw"
+        mask_brick.write_bytes(b"garbage")  # would crash a reshape if read
+        back = load_volume(tmp_path / "step", masks=False)
+        assert np.array_equal(back.data, vol.data)
+        assert back.masks == {}
+
     def test_bad_format_version_rejected(self, tmp_path):
         save_volume(sample_volume(), tmp_path / "step")
         meta = json.loads((tmp_path / "step.json").read_text())
