@@ -53,6 +53,7 @@ from repro.data import (
     make_vortex_sequence,
 )
 from repro.metrics import feature_retention
+from repro.parallel.pool import WorkerPool
 from repro.render.camera import Camera
 from repro.render.raycast import ALPHA_CUTOFF
 from repro.run import ConfigError, PipelineRunner, RunConfig, RunError
@@ -207,11 +208,16 @@ def cmd_classify(args) -> int:
         )
     classifier.train(epochs=args.epochs)
     backend = "process" if args.workers > 1 else "serial"
-    results = classify_sequence(
-        classifier, sequence, workers=args.workers, backend=backend,
-        retry=args.retries, on_error=args.on_error, mode=args.mode,
-        prune=args.prune, cache=args.cache,
-    )
+    pool = WorkerPool(workers=args.workers) if args.pool and args.workers > 1 else None
+    try:
+        results = classify_sequence(
+            classifier, sequence, workers=args.workers, backend=backend,
+            retry=args.retries, on_error=args.on_error, mode=args.mode,
+            prune=args.prune, cache=args.cache, pool=pool,
+        )
+    finally:
+        if pool is not None:
+            pool.close()
     print(f"shell radius: {radius}  mode: {args.mode}"
           f"{'  prune' if args.prune else ''}{'  cache' if args.cache else ''}")
     print(f"{'step':>6} {'selected':>9} {'retention':>10}")
@@ -258,13 +264,18 @@ def cmd_render(args) -> int:
         fast_options = {"ert_alpha": args.ert_alpha, "cell": args.cell}
         if args.tiles is not None:
             fast_options["tile"] = args.tiles
-    images = render_sequence(
-        sequence, [tf_for(vol) for vol in sequence], camera=camera,
-        shading=not args.no_shading, workers=args.workers, backend=backend,
-        transport=args.transport, retry=args.retries, on_error=args.on_error,
-        mode="fast" if args.fast else "exact", fast_options=fast_options,
-        cache=args.cache,
-    )
+    pool = WorkerPool(workers=args.workers) if args.pool and args.workers > 1 else None
+    try:
+        images = render_sequence(
+            sequence, [tf_for(vol) for vol in sequence], camera=camera,
+            shading=not args.no_shading, workers=args.workers, backend=backend,
+            transport=args.transport, retry=args.retries, on_error=args.on_error,
+            mode="fast" if args.fast else "exact", fast_options=fast_options,
+            cache=args.cache, pool=pool,
+        )
+    finally:
+        if pool is not None:
+            pool.close()
     for vol, image in zip(sequence, images):
         if image is None:
             print(f"step {vol.time}: FAILED (skipped)")
@@ -342,12 +353,15 @@ def cmd_run(args) -> int:
             if args.config or args.out:
                 raise SystemExit("--resume takes the run directory only; "
                                  "the stored config.json drives the run")
-            runner = PipelineRunner.resume(args.resume)
+            runner = PipelineRunner.resume(args.resume, workers=args.workers,
+                                           pipelined=args.pipelined)
         else:
             if not args.config or not args.out:
                 raise SystemExit("a new run needs a config json and --out DIR "
                                  "(or --resume RUN_DIR to continue one)")
-            runner = PipelineRunner.create(RunConfig.from_json(args.config), args.out)
+            runner = PipelineRunner.create(RunConfig.from_json(args.config), args.out,
+                                           workers=args.workers,
+                                           pipelined=args.pipelined)
         report = runner.run()
     except (ConfigError, RunError) as exc:
         raise SystemExit(str(exc)) from None
@@ -444,6 +458,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "default cache root (~/.cache/repro/shared)")
     p.add_argument("--out", help="directory for per-step certainty .npy files")
     p.add_argument("--workers", type=_positive_int, default=1)
+    p.add_argument("--pool", action="store_true",
+                   help="dispatch onto a resident worker pool: the trained "
+                        "network is broadcast to each worker once instead "
+                        "of riding in every task payload")
     _add_farm_options(p)
     p.set_defaults(func=cmd_classify)
 
@@ -481,6 +499,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "cache root (~/.cache/repro/shared)")
     p.add_argument("--format", choices=["ppm", "png"], default="ppm",
                    help="frame file format")
+    p.add_argument("--pool", action="store_true",
+                   help="dispatch onto a resident worker pool: the camera "
+                        "(and a shared TF) are broadcast to each worker "
+                        "once instead of riding in every task payload")
     _add_farm_options(p)
     p.set_defaults(func=cmd_render)
 
@@ -514,6 +536,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", metavar="RUN_DIR",
                    help="continue an interrupted run directory; completed "
                         "artifacts are verified and skipped")
+    p.add_argument("--workers", type=_positive_int, default=None,
+                   help="override the config's worker count for this "
+                        "invocation (a pure throughput knob: not written "
+                        "to config.json, outputs stay byte-identical)")
+    p.add_argument("--pipelined", action="store_true",
+                   help="dataflow scheduling: per-step classify→tf→render "
+                        "chains overlap across steps on one resident "
+                        "worker pool (track keeps its global barrier); "
+                        "outputs are byte-identical to the barrier walk")
     p.set_defaults(func=cmd_run)
     return parser
 

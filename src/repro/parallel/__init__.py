@@ -34,6 +34,7 @@ from repro.parallel.executor import (
     will_use_processes,
 )
 from repro.parallel.faults import FaultInjector, InjectedFault, parse_fault_spec
+from repro.parallel.pool import BroadcastRef, PoolError, PoolFuture, WorkerPool
 from repro.parallel.shm import (
     HAS_SHARED_MEMORY,
     OpenSharedVolume,
@@ -44,17 +45,21 @@ from repro.parallel.streaming import sequence_step_stems, stream_map, stream_map
 
 __all__ = [
     "Brick",
+    "BroadcastRef",
     "FaultInjector",
     "HAS_SHARED_MEMORY",
     "InjectedFault",
     "MapResult",
     "OpenSharedVolume",
+    "PoolError",
+    "PoolFuture",
     "RetryPolicy",
     "SharedVolumeArena",
     "SharedVolumeHandle",
     "TaskError",
     "TaskFailure",
     "TimestepExecutor",
+    "WorkerPool",
     "assemble_bricks",
     "axis_chunks",
     "content_digest",

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -297,6 +298,20 @@ def _map_serial(fn, items, state: _MapState, injector, fault_offset: int = 0) ->
             attempt += 1
 
 
+def _next_wakeup(pending, in_flight) -> float | None:
+    """Seconds until the next backoff-eligibility or attempt deadline.
+
+    ``None`` means there is no clock-driven event to wait for — only a
+    completion callback can make progress, so the caller may block
+    indefinitely on its wake event.
+    """
+    marks = [eligible_at for _, _, eligible_at in pending]
+    marks += [t["deadline"] for t in in_flight if t["deadline"] is not None]
+    if not marks:
+        return None
+    return max(0.0, min(marks) - time.monotonic())
+
+
 def _map_process(fn, items, state: _MapState, injector, workers: int,
                  chunksize: int, ctx, fault_offset: int = 0) -> None:
     policy = state.policy
@@ -308,8 +323,16 @@ def _map_process(fn, items, state: _MapState, injector, workers: int,
         for start in range(0, len(items), chunksize)
     ]
     in_flight: list[dict] = []
+    # Completion is event-driven: apply_async callbacks (which run on the
+    # pool's result-handler thread) set ``wake``, and the scheduler sleeps
+    # on it bounded by the nearest backoff/deadline clock tick.  Clearing
+    # *before* the scan keeps the order race-free — a callback that fires
+    # mid-scan re-sets the event and the next wait returns immediately.
+    wake = threading.Event()
+    signal = lambda _result: wake.set()
     with ctx.Pool(processes=workers) as pool:
         while pending or in_flight:
+            wake.clear()
             now = time.monotonic()
             progressed = False
             still_waiting = []
@@ -319,7 +342,8 @@ def _map_process(fn, items, state: _MapState, injector, workers: int,
                     continue
                 payloads = [(fn, i, items[i], attempt, injector, i + fault_offset)
                             for i in indices]
-                handle = pool.apply_async(_run_chunk, (payloads,))
+                handle = pool.apply_async(_run_chunk, (payloads,),
+                                          callback=signal, error_callback=signal)
                 deadline = (None if policy.timeout is None
                             else now + policy.timeout * len(indices))
                 in_flight.append({"handle": handle, "indices": indices,
@@ -366,14 +390,39 @@ def _map_process(fn, items, state: _MapState, injector, workers: int,
                     remaining.append(task)
             in_flight = remaining
             if not progressed:
-                time.sleep(0.002)
+                wake.wait(_next_wakeup(pending, in_flight))
+
+
+def _map_pool(fn, items, state: _MapState, injector, pool,
+              fault_offset: int = 0) -> None:
+    """Run a map on a resident :class:`~repro.parallel.pool.WorkerPool`.
+
+    The pool calls ``state.fail`` for every failed attempt, so retry
+    accounting, counters, and ``on_error`` semantics are *the same
+    object* as the serial/process backends — ``on_error="raise"``
+    surfaces as :class:`TaskError` out of ``pool.wait`` and the
+    ``finally`` cancels the rest of the map.
+    """
+    futures = [
+        pool.submit(fn, item, index=index, retry=state.policy,
+                    injector=injector, fault_index=index + fault_offset,
+                    on_attempt_fail=state.fail)
+        for index, item in enumerate(items)
+    ]
+    try:
+        pool.wait(futures)
+    finally:
+        pool.cancel(futures)
+    for future in futures:
+        if future.ok:
+            state.succeed(future.index, future.value, future.elapsed)
 
 
 def map_timesteps(fn, items, workers: int | None = None, backend: str = "auto",
                   chunksize: int = 1, retry: RetryPolicy | int | None = None,
                   on_error: str = "raise",
                   inject_faults: FaultInjector | dict | None = None,
-                  fault_index_offset: int = 0) -> MapResult:
+                  fault_index_offset: int = 0, pool=None) -> MapResult:
     """Map ``fn`` over ``items`` (one item ≙ one time step's work).
 
     ``fn`` must be picklable (module-level) for the process backend.
@@ -401,9 +450,25 @@ def map_timesteps(fn, items, workers: int | None = None, backend: str = "auto",
         its tasks globally across stages — use this so one schedule
         (``"N:crash"``) addresses the run's Nth task regardless of which
         map it lands in.
+    pool:
+        A resident :class:`repro.parallel.pool.WorkerPool`.  When given
+        and the backend decision would fan out, tasks dispatch onto the
+        pool's already-spawned workers instead of building (and tearing
+        down) a fresh ``multiprocessing.Pool`` — one spawn cost per run,
+        not per map.  Payloads may embed
+        :class:`~repro.parallel.pool.BroadcastRef` placeholders for
+        objects previously registered via ``pool.broadcast``.
+        ``chunksize`` is ignored on this path (the pool schedules single
+        items; its per-attempt timeout equals ``chunksize=1`` semantics).
+        Serial maps (``backend="serial"``, or ``"auto"`` deciding
+        against fan-out) never touch the pool, so their payloads must
+        not contain broadcast refs.
     """
     items = list(items)
     workers = _resolve_workers(workers)
+    if items:
+        # A 2-step map must not fork a full pool of idle processes.
+        workers = min(workers, len(items))
     if backend not in ("auto", "serial", "process"):
         raise ValueError(f"unknown backend {backend!r}")
     if chunksize < 1:
@@ -420,15 +485,19 @@ def map_timesteps(fn, items, workers: int | None = None, backend: str = "auto",
     use_process = backend == "process" or (
         backend == "auto" and workers > 1 and len(items) > 1
     )
+    use_pool = pool is not None and use_process
     metrics = get_metrics()
     metrics.counter("executor.tasks").inc(len(items))
     state = _MapState(len(items), policy, on_error)
-    used_backend = "process" if use_process else "serial"
-    used_workers = workers if use_process else 1
+    used_backend = "pool" if use_pool else ("process" if use_process else "serial")
+    used_workers = (pool.workers if use_pool
+                    else workers if use_process else 1)
     with metrics.span("executor.map", backend=used_backend, workers=used_workers,
                       items=len(items)):
         start = time.perf_counter()
-        if not use_process:
+        if use_pool:
+            _map_pool(fn, items, state, injector, pool, fault_index_offset)
+        elif not use_process:
             _map_serial(fn, items, state, injector, fault_index_offset)
         else:
             ctx = (mp.get_context("fork") if hasattr(os, "fork")
@@ -451,7 +520,7 @@ class TimestepExecutor:
 
     def __init__(self, workers: int | None = None, backend: str = "auto",
                  retry: RetryPolicy | int | None = None,
-                 on_error: str = "raise") -> None:
+                 on_error: str = "raise", pool=None) -> None:
         self.workers = _resolve_workers(workers)
         if backend not in ("auto", "serial", "process"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -460,17 +529,28 @@ class TimestepExecutor:
         self.backend = backend
         self.retry = retry
         self.on_error = on_error
+        self.pool = pool
         self.maps_run = 0
         self.items_processed = 0
         self.total_elapsed = 0.0
         self.total_retries = 0
         self.total_failures = 0
 
-    def map_result(self, fn, items, chunksize: int = 1) -> MapResult:
-        """Map and return the full :class:`MapResult` (stats accumulated)."""
+    def map_result(self, fn, items, chunksize: int = 1,
+                   inject_faults: FaultInjector | dict | None = None,
+                   fault_index_offset: int = 0) -> MapResult:
+        """Map and return the full :class:`MapResult` (stats accumulated).
+
+        ``inject_faults`` and ``fault_index_offset`` are forwarded to
+        :func:`map_timesteps` verbatim, so a caller that numbers tasks
+        globally across several maps (the resumable pipeline runner) can
+        adopt the executor without losing its fault schedule.
+        """
         outcome = map_timesteps(
             fn, items, workers=self.workers, backend=self.backend,
             chunksize=chunksize, retry=self.retry, on_error=self.on_error,
+            inject_faults=inject_faults, fault_index_offset=fault_index_offset,
+            pool=self.pool,
         )
         self.maps_run += 1
         self.items_processed += len(outcome.results)
@@ -479,6 +559,10 @@ class TimestepExecutor:
         self.total_failures += len(outcome.failures)
         return outcome
 
-    def map(self, fn, items, chunksize: int = 1) -> list:
+    def map(self, fn, items, chunksize: int = 1,
+            inject_faults: FaultInjector | dict | None = None,
+            fault_index_offset: int = 0) -> list:
         """Map and return just the results (stats recorded on the side)."""
-        return self.map_result(fn, items, chunksize=chunksize).results
+        return self.map_result(fn, items, chunksize=chunksize,
+                               inject_faults=inject_faults,
+                               fault_index_offset=fault_index_offset).results

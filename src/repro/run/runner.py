@@ -46,8 +46,9 @@ from repro.core.iatf import AdaptiveTransferFunction
 from repro.core.mlp import NeuralNetwork
 from repro.core.pipeline import frame_digest, volume_digest
 from repro.obs import get_metrics
-from repro.parallel.executor import map_timesteps
+from repro.parallel.executor import TaskError, map_timesteps
 from repro.parallel.faults import as_injector
+from repro.parallel.pool import WorkerPool
 from repro.render.camera import Camera
 from repro.render.image import Image
 from repro.run.config import ConfigError, RunConfig
@@ -166,12 +167,31 @@ def _task_render_step(payload):
 # The runner
 # --------------------------------------------------------------------- #
 class PipelineRunner:
-    """Executes (or resumes) one run directory for one config."""
+    """Executes (or resumes) one run directory for one config.
 
-    def __init__(self, config: RunConfig, run_dir) -> None:
+    ``workers`` overrides the config's worker count for *this invocation
+    only* — it is a pure throughput knob (excluded from the config
+    fingerprint and never written to ``config.json``), so a run started
+    with one fan-out can be resumed with another and still reach
+    byte-identical outputs.  ``pipelined=True`` switches from the
+    stage-barrier walk to the dataflow walk: each step's
+    classify(t) → tf(t) → render(t) chain advances independently
+    (rendering of early steps overlaps classification of late ones)
+    while track keeps its global barrier; outputs are byte-identical to
+    the barrier mode because every artifact key and every recorded
+    manifest entry is the same — only the execution order differs.
+    """
+
+    def __init__(self, config: RunConfig, run_dir, workers: int | None = None,
+                 pipelined: bool = False) -> None:
         self.config = config
         self.run_dir = Path(run_dir)
         self.store = ArtifactStore(self.run_dir / "store")
+        self.exec_workers = workers if workers is not None else config.workers
+        if self.exec_workers < 1:
+            raise RunError(f"workers must be >= 1, got {self.exec_workers}")
+        self.pipelined = pipelined
+        self._pool = None
         self._metrics = get_metrics()
         self._task_no = 0      # global number of the next *executed* task
         self._executed = 0
@@ -181,7 +201,8 @@ class PipelineRunner:
     # Construction
     # ------------------------------------------------------------------ #
     @classmethod
-    def create(cls, config: RunConfig, run_dir) -> "PipelineRunner":
+    def create(cls, config: RunConfig, run_dir, workers: int | None = None,
+               pipelined: bool = False) -> "PipelineRunner":
         """Start a fresh run directory (refuses to clobber an existing run)."""
         run_dir = Path(run_dir)
         if (run_dir / "manifest.json").exists() or (run_dir / "config.json").exists():
@@ -192,10 +213,11 @@ class PipelineRunner:
         # rewritten, and sufficient on its own to resume.
         atomic_write_text(run_dir / "config.json",
                           json.dumps(config.to_dict(), sort_keys=True, indent=2) + "\n")
-        return cls(config, run_dir)
+        return cls(config, run_dir, workers=workers, pipelined=pipelined)
 
     @classmethod
-    def resume(cls, run_dir) -> "PipelineRunner":
+    def resume(cls, run_dir, workers: int | None = None,
+               pipelined: bool = False) -> "PipelineRunner":
         """Reopen an interrupted run directory from its stored config."""
         run_dir = Path(run_dir)
         config_path = run_dir / "config.json"
@@ -216,7 +238,7 @@ class PipelineRunner:
                     f"{run_dir}: manifest was produced by a different config "
                     f"(fingerprint {manifest.config_fingerprint} != "
                     f"{config.fingerprint()})")
-        return cls(config, run_dir)
+        return cls(config, run_dir, workers=workers, pipelined=pipelined)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -227,7 +249,7 @@ class PipelineRunner:
         self._metrics.reset("run.")
         self._injector = as_injector(None)
         if (self._injector is not None and self._injector.crashes
-                and config.workers > 1):
+                and self.exec_workers > 1):
             raise RunError(
                 "crash injection requires workers=1: a SIGKILLed pool worker "
                 "would hang the map instead of killing the run")
@@ -242,19 +264,23 @@ class PipelineRunner:
             stage_names=config.stages,
         )
         self._save_manifest()
-        with self._metrics.span("run.total", stages=len(config.stages)):
-            stage_fns = {"classify": self._stage_classify,
-                         "track": self._stage_track,
-                         "tfs": self._stage_tfs,
-                         "render": self._stage_render}
-            for stage in config.stages:
-                self.manifest.set_status(stage, STATUS_RUNNING)
-                self._save_manifest()
-                with self._metrics.span(f"run.stage.{stage}"):
-                    stage_fns[stage](sequence)
-                self.manifest.set_status(stage, STATUS_COMPLETE)
-                self._save_manifest()
-                self._metrics.counter("run.stages.completed").inc()
+        self._pool = None
+        try:
+            if self.exec_workers > 1:
+                # One resident pool for the entire run: every stage's map
+                # (and, pipelined, every submitted chain) reuses the same
+                # workers — one spawn cost per run, not per map.
+                self._pool = WorkerPool(workers=self.exec_workers)
+            with self._metrics.span("run.total", stages=len(config.stages),
+                                    pipelined=self.pipelined):
+                if self.pipelined:
+                    self._run_dataflow(sequence)
+                else:
+                    self._run_barrier(sequence)
+        finally:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
         self._write_stats()
         return RunReport(
             run_dir=self.run_dir,
@@ -264,6 +290,20 @@ class PipelineRunner:
             skipped=self._skipped,
             artifacts=len(self.store.keys()),
         )
+
+    def _run_barrier(self, sequence) -> None:
+        stage_fns = {"classify": self._stage_classify,
+                     "track": self._stage_track,
+                     "tfs": self._stage_tfs,
+                     "render": self._stage_render}
+        for stage in self.config.stages:
+            self.manifest.set_status(stage, STATUS_RUNNING)
+            self._save_manifest()
+            with self._metrics.span(f"run.stage.{stage}"):
+                stage_fns[stage](sequence)
+            self.manifest.set_status(stage, STATUS_COMPLETE)
+            self._save_manifest()
+            self._metrics.counter("run.stages.completed").inc()
 
     # ------------------------------------------------------------------ #
     # Task batch execution (the memoized walk)
@@ -290,7 +330,7 @@ class PipelineRunner:
                 pending.append(task)
         if not pending:
             return
-        if self.config.workers == 1:
+        if self.exec_workers == 1:
             # One farm call per task: the artifact and manifest land on
             # disk before the next task (and its potential crash) starts.
             for label, key, kind, fn, payload in pending:
@@ -304,15 +344,249 @@ class PipelineRunner:
         else:
             outcome = map_timesteps(
                 fn := pending[0][3], [p for _, _, _, _, p in pending],
-                workers=self.config.workers, backend="process",
+                workers=self.exec_workers, backend="process",
                 inject_faults=self._injector,
-                fault_index_offset=self._task_no)
+                fault_index_offset=self._task_no, pool=self._pool)
             for (label, key, kind, _, _), result in zip(pending, outcome.results):
                 self._persist(key, kind, result)
                 self._executed += 1
                 self._metrics.counter("run.tasks.executed").inc()
             self._task_no += len(pending)
         self._save_manifest()
+
+    def _execute_single(self, stage: str, label: str, key: str, kind: str,
+                        fn, payload) -> bool:
+        """Record, skip-or-execute, and persist one task (dataflow walk).
+
+        Returns whether the task actually executed.  Unlike the batch
+        path, the satisfied-key check happens immediately before
+        execution, so a task whose key was produced *earlier in the same
+        walk* (the shared box-TF artifact) is skipped, not recomputed.
+        """
+        self.manifest.record_task(stage, label, key, kind)
+        if self.store.has(key):
+            self._skipped += 1
+            self._metrics.counter("run.tasks.skipped").inc()
+            self._save_manifest()
+            return False
+        self._save_manifest()
+        outcome = map_timesteps(fn, [payload], backend="serial",
+                                inject_faults=self._injector,
+                                fault_index_offset=self._task_no)
+        self._persist(key, kind, outcome.results[0])
+        self._task_no += 1
+        self._executed += 1
+        self._metrics.counter("run.tasks.executed").inc()
+        self._save_manifest()
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Dataflow (pipelined) walk
+    # ------------------------------------------------------------------ #
+    def _run_dataflow(self, sequence) -> None:
+        """Per-step classify(t) → tf(t) → render(t) chains; track barriers.
+
+        Every artifact key and manifest task is identical to the barrier
+        walk — the manifest serializes with sorted keys and statuses all
+        end COMPLETE, so the run directory's final bytes are too.  Track
+        still needs every classify step, so it runs as a global barrier
+        after the chains drain; frame export (idempotent store reads)
+        goes last.
+        """
+        do = set(self.config.stages)
+        for stage in self.config.stages:
+            self.manifest.set_status(stage, STATUS_RUNNING)
+        self._save_manifest()
+        with self._metrics.span("run.dataflow", steps=len(sequence),
+                                workers=self.exec_workers):
+            if self.exec_workers == 1:
+                render_keys = self._dataflow_serial(sequence)
+            else:
+                render_keys = self._dataflow_pool(sequence)
+            if "track" in do:
+                with self._metrics.span("run.stage.track"):
+                    self._stage_track(sequence)
+        if "render" in do and self.config.render["export"]:
+            self._export_frames(sequence, render_keys,
+                                self.config.render["export"])
+        for stage in self.config.stages:
+            self.manifest.set_status(stage, STATUS_COMPLETE)
+            self._metrics.counter("run.stages.completed").inc()
+        self._save_manifest()
+
+    def _dataflow_context(self, sequence) -> dict:
+        """Pre-resolve everything the per-step chains need (key material)."""
+        do = set(self.config.stages)
+        ctx: dict = {"do": do}
+        if "classify" in do:
+            cparams = dict(self.config.classify)
+            train_times = cparams["train_steps"] or [sequence.times[0]]
+            missing = [t for t in train_times if t not in sequence.times]
+            if missing:
+                raise RunError(f"classify train_steps {missing} not in sequence "
+                               f"times {sequence.times}")
+            ctx.update(cparams=cparams, train_times=train_times,
+                       train_key=self._classify_train_key(sequence))
+        if "tfs" in do or "render" in do:
+            tparams = dict(self.config.tfs)
+            iatf_text = iatf_dict = None
+            if tparams["kind"] == "iatf":
+                try:
+                    iatf_text = Path(tparams["iatf"]).read_text()
+                except OSError as exc:
+                    raise RunError(
+                        f"cannot read IATF {tparams['iatf']}: {exc}") from None
+                iatf_dict = json.loads(iatf_text)
+            ctx.update(tparams=tparams, domain=sequence.value_range,
+                       iatf_text=iatf_text, iatf_dict=iatf_dict)
+        if "render" in do:
+            rparams = dict(self.config.render)
+            fast_opts = dict(rparams["fast_options"])
+            ctx.update(
+                rparams=rparams,
+                camera=Camera(azimuth=rparams["azimuth"],
+                              elevation=rparams["elevation"],
+                              width=rparams["size"], height=rparams["size"]),
+                sig=("exact" if rparams["mode"] == "exact"
+                     else f"fast:{sorted(fast_opts.items())!r}"),
+            )
+        return ctx
+
+    def _render_key(self, ctx: dict, vol, tf_dict: dict) -> str:
+        tf = TransferFunction1D.from_dict(tf_dict)
+        return frame_digest(vol, tf, ctx["camera"], ctx["rparams"]["step"],
+                            ctx["rparams"]["shading"], ctx["sig"])
+
+    def _dataflow_serial(self, sequence) -> list[str] | None:
+        """Deterministic interleaved walk: train, then per step the
+        classify/tf/render tasks back to back.  Crash injection works
+        here exactly as on the barrier single-worker path — the executed
+        task *order* differs (and is what the chaos battery pins)."""
+        ctx = self._dataflow_context(sequence)
+        do = ctx["do"]
+        train_artifact = None
+        if "classify" in do:
+            train_vols = [sequence.at_time(t) for t in ctx["train_times"]]
+            self._execute_single("classify", "train", ctx["train_key"], "json",
+                                 _task_train_classifier,
+                                 (train_vols, self._train_params()))
+            train_artifact = self.store.get_json(ctx["train_key"])
+        render_keys = [] if "render" in do else None
+        for i, vol in enumerate(sequence):
+            label = self._label(vol)
+            if "classify" in do:
+                self._execute_single(
+                    "classify", label,
+                    self._classify_step_key(ctx["train_key"], i), "array",
+                    _task_classify_step, (train_artifact, ctx["cparams"], vol))
+            if "tfs" in do:
+                self._execute_single(
+                    "tfs", label,
+                    self._tf_step_key(ctx["domain"], ctx["iatf_text"], i), "json",
+                    _task_tf_step, (ctx["tparams"]["kind"], ctx["tparams"],
+                                    ctx["domain"], ctx["iatf_dict"], vol))
+            if "render" in do:
+                tf_key = self._tf_step_key(ctx["domain"], ctx["iatf_text"], i)
+                tf_dict = self.store.get_json(tf_key)
+                key = self._render_key(ctx, vol, tf_dict)
+                self._execute_single("render", label, key, "array",
+                                     _task_render_step,
+                                     (vol, tf_dict, ctx["camera"], ctx["rparams"]))
+                render_keys.append(key)
+        return render_keys
+
+    def _dataflow_pool(self, sequence) -> list[str] | None:
+        """Overlapped walk on the run's resident pool.
+
+        Each step's TF future carries a done-callback that submits that
+        step's render the moment the TF lands, so renders of early steps
+        run while classifies of late steps are still in flight.  Every
+        completion persists in the parent — artifact first, manifest
+        second — preserving the at-most-one-in-flight-task crash window.
+        """
+        ctx = self._dataflow_context(sequence)
+        do = ctx["do"]
+        pool = self._pool
+        train_artifact = None
+        if "classify" in do:
+            train_vols = [sequence.at_time(t) for t in ctx["train_times"]]
+            # Training gates every classify chain: a one-task barrier,
+            # executed in-parent like the track stage.
+            self._execute_single("classify", "train", ctx["train_key"], "json",
+                                 _task_train_classifier,
+                                 (train_vols, self._train_params()))
+            train_artifact = self.store.get_json(ctx["train_key"])
+        render_keys = [None] * len(sequence) if "render" in do else None
+        classify_futs: list = []
+        tf_futs: list = []
+        render_futs: list = []
+
+        def persist_cb(key, kind):
+            def finish(fut):
+                if fut.ok:
+                    self._persist(key, kind, fut.value)
+                    self._executed += 1
+                    self._metrics.counter("run.tasks.executed").inc()
+                    self._save_manifest()
+            return finish
+
+        def submit(stage, label, key, kind, fn, payload, bucket, chain=None):
+            self.manifest.record_task(stage, label, key, kind)
+            if self.store.has(key):
+                self._skipped += 1
+                self._metrics.counter("run.tasks.skipped").inc()
+                self._save_manifest()
+                return False
+            self._save_manifest()
+            fut = pool.submit(fn, payload, index=len(bucket),
+                              injector=self._injector,
+                              fault_index=self._task_no)
+            self._task_no += 1
+            fut.add_done_callback(persist_cb(key, kind))
+            if chain is not None:
+                fut.add_done_callback(chain)
+            bucket.append(fut)
+            return True
+
+        def submit_render(i, vol, tf_dict):
+            key = self._render_key(ctx, vol, tf_dict)
+            render_keys[i] = key
+            submit("render", self._label(vol), key, "array", _task_render_step,
+                   (vol, tf_dict, ctx["camera"], ctx["rparams"]), render_futs)
+
+        for i, vol in enumerate(sequence):
+            label = self._label(vol)
+            if "classify" in do:
+                submit("classify", label,
+                       self._classify_step_key(ctx["train_key"], i), "array",
+                       _task_classify_step, (train_artifact, ctx["cparams"], vol),
+                       classify_futs)
+            if "tfs" in do or "render" in do:
+                tf_key = self._tf_step_key(ctx["domain"], ctx["iatf_text"], i)
+            chain = None
+            if "render" in do:
+                def chain(fut, i=i, vol=vol):
+                    if fut.ok:
+                        submit_render(i, vol, fut.value)
+            if "tfs" in do:
+                submitted = submit("tfs", label, tf_key, "json", _task_tf_step,
+                                   (ctx["tparams"]["kind"], ctx["tparams"],
+                                    ctx["domain"], ctx["iatf_dict"], vol),
+                                   tf_futs, chain=chain)
+                if not submitted and "render" in do:
+                    # TF already satisfied — render directly from the store.
+                    submit_render(i, vol, self.store.get_json(tf_key))
+            elif "render" in do:
+                submit_render(i, vol, self.store.get_json(tf_key))
+
+        # Two waits: draining classify + TF fires every chain callback,
+        # so all render futures exist before the second wait.
+        pool.wait(classify_futs + tf_futs)
+        pool.wait(render_futs)
+        for fut in classify_futs + tf_futs + render_futs:
+            if not fut.ok:
+                raise TaskError(fut.failure)
+        return render_keys
 
     def _persist(self, key: str, kind: str, result) -> None:
         if kind == "array":

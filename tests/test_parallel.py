@@ -81,6 +81,16 @@ class TestMapTimesteps:
         proc = map_timesteps(square, [1, 2, 3], backend="process", workers=2)
         assert len(proc.item_times) == 3
 
+    def test_workers_clamped_to_item_count(self):
+        """Never fork more workers than there are items to farm out."""
+        out = map_timesteps(square, [1, 2], backend="process", workers=8)
+        assert out.workers == 2
+        assert out.results == [1, 4]
+
+    def test_clamp_leaves_small_worker_counts_alone(self):
+        out = map_timesteps(square, [1, 2, 3, 4], backend="process", workers=2)
+        assert out.workers == 2
+
 
 class TestTimestepExecutor:
     def test_accumulates_stats(self):
@@ -98,6 +108,27 @@ class TestTimestepExecutor:
     def test_bad_backend(self):
         with pytest.raises(ValueError):
             TimestepExecutor(backend="fpga")
+
+    def test_map_result_forwards_fault_schedule(self):
+        """A runner numbering tasks globally can keep its fault schedule:
+        offset 7 + local item 1 hits the schedule's global index 8."""
+        from repro.parallel import FaultInjector, RetryPolicy
+
+        ex = TimestepExecutor(workers=1, backend="serial",
+                              retry=RetryPolicy(max_retries=1, backoff=0.0))
+        out = ex.map_result(square, [1, 2], inject_faults=FaultInjector({8: 1}),
+                            fault_index_offset=7)
+        assert out.results == [1, 4]
+        assert out.retries == 1
+        assert ex.total_retries == 1
+
+    def test_map_result_offset_miss_leaves_schedule_unfired(self):
+        from repro.parallel import FaultInjector
+
+        ex = TimestepExecutor(workers=1, backend="serial")
+        out = ex.map_result(square, [1, 2], inject_faults=FaultInjector({8: 1}),
+                            fault_index_offset=0)
+        assert out.results == [1, 4] and out.retries == 0
 
 
 class TestBricking:

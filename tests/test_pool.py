@@ -1,0 +1,298 @@
+"""Tests for the persistent worker pool (:mod:`repro.parallel.pool`).
+
+Covers the acceptance checklist for the resident-pool runtime: lazy
+spawn and reuse across maps (no respawn churn), futures with
+done-callback chaining, digest-keyed broadcast shipped to each worker
+at most once, SIGKILL crash detection + respawn flowing through the
+ordinary retry policy, injected faults / skip mode / timeouts matching
+the per-map backend semantics, and lifecycle (close, context manager,
+closed-pool errors).
+"""
+
+import os
+import pathlib
+import signal
+import time
+
+import pytest
+
+from repro.obs import get_metrics
+from repro.parallel import (
+    BroadcastRef,
+    FaultInjector,
+    PoolError,
+    RetryPolicy,
+    TaskError,
+    TimestepExecutor,
+    WorkerPool,
+    map_timesteps,
+)
+from repro.parallel.pool import resolve_broadcasts
+
+pytestmark = pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
+
+NO_BACKOFF = RetryPolicy(max_retries=2, backoff=0.0)
+
+
+def square(x):
+    return x * x
+
+
+def boom(x):
+    raise RuntimeError("boom")
+
+
+def nap(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def use_ref(payload):
+    obj, x = payload
+    return (obj["scale"] * x, os.getpid())
+
+
+def crash_once(path):
+    """SIGKILL the hosting worker on first sight of the sentinel path."""
+    p = pathlib.Path(path)
+    if not p.exists():
+        p.write_text("x")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return "ok"
+
+
+def crash_flaky(path):
+    """Plain exception (not SIGKILL) on first call, success on retry."""
+    p = pathlib.Path(path)
+    if not p.exists():
+        p.write_text("x")
+        raise RuntimeError("flaky")
+    return "ok"
+
+
+@pytest.fixture
+def pool():
+    with WorkerPool(workers=2) as p:
+        yield p
+
+
+class TestSubmit:
+    def test_submit_result_roundtrip(self, pool):
+        assert pool.submit(square, 7).result() == 49
+
+    def test_lazy_spawn(self):
+        with WorkerPool(workers=2) as p:
+            assert p.started_workers == 0 and p.spawned == 0
+            p.submit(square, 2).result()
+            assert p.spawned >= 1
+
+    def test_failure_raises_task_error(self, pool):
+        future = pool.submit(boom, 1, index=4)
+        with pytest.raises(TaskError, match="item 4"):
+            future.result()
+        assert future.done() and not future.ok
+        assert future.failure.error_type == "RuntimeError"
+        assert "boom" in future.failure.remote_traceback
+
+    def test_retry_then_success(self, pool, tmp_path):
+        future = pool.submit(
+            crash_flaky, str(tmp_path / "flaky"), retry=NO_BACKOFF
+        )
+        assert future.result() == "ok"
+        assert future.attempts == 2
+
+    def test_done_callback_chains_submissions(self, pool):
+        chained = []
+        first = pool.submit(square, 3)
+        first.add_done_callback(
+            lambda f: chained.append(pool.submit(square, f.value))
+        )
+        assert first.result() == 9
+        pool.wait(chained)
+        assert chained[0].value == 81
+
+    def test_callback_on_already_done_future_fires_immediately(self, pool):
+        future = pool.submit(square, 2)
+        future.result()
+        seen = []
+        future.add_done_callback(seen.append)
+        assert seen == [future]
+
+    def test_wait_resolves_all(self, pool):
+        futures = [pool.submit(square, i) for i in range(8)]
+        pool.wait(futures)
+        assert [f.value for f in futures] == [i * i for i in range(8)]
+
+    def test_cancel_resolves_pending_as_cancelled(self):
+        with WorkerPool(workers=1) as p:
+            slow = p.submit(nap, 0.2)
+            queued = [p.submit(square, i) for i in range(4)]
+            p.cancel(queued)
+            assert all(f.done() and not f.ok for f in queued)
+            assert all(f.failure.error_type == "Cancelled" for f in queued)
+            assert slow.result() == pytest.approx(0.2)
+
+
+class TestReuse:
+    def test_spawned_stays_flat_across_maps(self, pool):
+        for _ in range(3):
+            out = map_timesteps(square, [1, 2, 3, 4], workers=2, pool=pool)
+            assert out.results == [1, 4, 9, 16]
+        assert pool.spawned == 2
+        assert pool.respawns == 0
+
+    def test_map_backend_reported_as_pool(self, pool):
+        out = map_timesteps(square, [1, 2, 3], workers=2, pool=pool)
+        assert out.backend == "pool"
+        assert out.workers == 2
+
+    def test_map_matches_serial(self, pool):
+        serial = map_timesteps(square, list(range(10)), backend="serial")
+        pooled = map_timesteps(square, list(range(10)), workers=2, pool=pool)
+        assert pooled.results == serial.results
+
+    def test_map_exception_propagates(self, pool):
+        with pytest.raises(RuntimeError, match="boom"):
+            map_timesteps(boom, [1, 2], workers=2, pool=pool)
+
+    def test_pool_ignored_for_serial_backend(self, pool):
+        out = map_timesteps(square, [1, 2], backend="serial", pool=pool)
+        assert out.backend == "serial"
+
+    def test_executor_forwards_pool(self, pool):
+        ex = TimestepExecutor(workers=2, backend="process", pool=pool)
+        out = ex.map_result(square, [1, 2, 3])
+        assert out.backend == "pool" and out.results == [1, 4, 9]
+        assert ex.items_processed == 3
+
+
+class TestBroadcast:
+    def test_ref_resolves_in_payload(self, pool):
+        ref = pool.broadcast({"scale": 10})
+        assert isinstance(ref, BroadcastRef)
+        out = map_timesteps(
+            use_ref, [(ref, 1), (ref, 2), (ref, 3)], workers=2, pool=pool
+        )
+        assert [v for v, _pid in out.results] == [10, 20, 30]
+
+    def test_blob_ships_once_per_worker(self, pool):
+        metrics = get_metrics()
+        metrics.reset("pool.broadcast.")
+        ref = pool.broadcast({"scale": 2})
+        map_timesteps(use_ref, [(ref, i) for i in range(12)], workers=2, pool=pool)
+        map_timesteps(use_ref, [(ref, i) for i in range(12)], workers=2, pool=pool)
+        sends = metrics.counter_values("pool.broadcast.")["pool.broadcast.sends"]
+        assert sends <= pool.spawned
+
+    def test_identical_object_same_digest(self, pool):
+        assert pool.broadcast((1, 2, 3)) == pool.broadcast((1, 2, 3))
+
+    def test_unknown_ref_rejected_at_submit(self, pool):
+        with pytest.raises(PoolError, match="unknown broadcast"):
+            pool.submit(square, BroadcastRef("deadbeef"))
+
+    def test_resolver_walks_containers(self):
+        registry = {"d": 42}
+        payload = {"a": [BroadcastRef("d"), 1], "b": (BroadcastRef("d"),)}
+        assert resolve_broadcasts(payload, registry) == {"a": [42, 1], "b": (42,)}
+
+
+class TestCrashRespawn:
+    def test_sigkill_respawn_and_retry(self, pool, tmp_path):
+        sentinel = str(tmp_path / "crash")
+        out = map_timesteps(
+            crash_once, [sentinel], workers=2, backend="process",
+            pool=pool, retry=NO_BACKOFF,
+        )
+        assert out.results == ["ok"]
+        assert out.retries == 1
+        assert pool.respawns == 1
+
+    def test_crash_without_retry_is_structured_failure(self, pool, tmp_path):
+        sentinel = str(tmp_path / "crash")
+        out = map_timesteps(
+            crash_once, [sentinel], workers=2, backend="process",
+            pool=pool, on_error="skip",
+        )
+        assert out.results == [None]
+        assert out.failures[0].error_type == "WorkerCrash"
+
+    def test_pool_usable_after_crash(self, pool, tmp_path):
+        map_timesteps(
+            crash_once, [str(tmp_path / "c")], workers=2, backend="process",
+            pool=pool, retry=NO_BACKOFF,
+        )
+        out = map_timesteps(square, [5, 6], workers=2, pool=pool)
+        assert out.results == [25, 36]
+
+    def test_respawned_worker_rereceives_broadcasts(self, pool, tmp_path):
+        ref = pool.broadcast({"scale": 3})
+        map_timesteps(
+            crash_once, [str(tmp_path / "c")], workers=2, backend="process",
+            pool=pool, retry=NO_BACKOFF,
+        )
+        out = map_timesteps(
+            use_ref, [(ref, i) for i in range(8)], workers=2, pool=pool
+        )
+        assert [v for v, _pid in out.results] == [3 * i for i in range(8)]
+
+
+class TestFaultSemantics:
+    def test_injected_fault_retried(self, pool):
+        out = map_timesteps(
+            square, [1, 2, 3], workers=2, pool=pool, retry=NO_BACKOFF,
+            inject_faults=FaultInjector({1: 1}),
+        )
+        assert out.results == [1, 4, 9]
+        assert out.retries == 1
+
+    def test_skip_mode_partial_results(self, pool):
+        out = map_timesteps(
+            boom, [1, 2, 3], workers=2, pool=pool, on_error="skip"
+        )
+        assert out.results == [None, None, None]
+        assert sorted(f.index for f in out.failures) == [0, 1, 2]
+
+    def test_timeout_fails_attempt(self, pool):
+        out = map_timesteps(
+            nap, [1.0], workers=2, backend="process", pool=pool,
+            on_error="skip", retry=RetryPolicy(timeout=0.1),
+        )
+        assert out.failures[0].error_type == "TaskTimeout"
+
+    def test_fault_index_offset_honoured(self, pool):
+        # Offset shifts injection onto global task index 3 == local item 1.
+        out = map_timesteps(
+            square, [1, 2], workers=2, pool=pool, retry=NO_BACKOFF,
+            inject_faults=FaultInjector({3: 1}), fault_index_offset=2,
+        )
+        assert out.results == [1, 4]
+        assert out.retries == 1
+
+
+class TestLifecycle:
+    def test_close_idempotent(self):
+        p = WorkerPool(workers=2)
+        p.submit(square, 1).result()
+        p.close()
+        p.close()
+        assert p.started_workers == 0
+
+    def test_closed_pool_rejects_work(self):
+        p = WorkerPool(workers=2)
+        p.close()
+        with pytest.raises(PoolError, match="closed"):
+            p.submit(square, 1)
+        with pytest.raises(PoolError, match="closed"):
+            p.broadcast(1)
+
+    def test_context_manager_reaps_workers(self):
+        with WorkerPool(workers=2) as p:
+            p.submit(square, 1).result()
+            pids = p.pids()
+            assert pids
+        assert p.started_workers == 0
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
