@@ -32,16 +32,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.dataspace import (
-    DataSpaceClassifier,
-    ShellFeatureExtractor,
-    derive_shell_radius,
-)
 from repro.core.iatf import AdaptiveTransferFunction
 from repro.core.pipeline import (
     classify_sequence,
     generate_sequence_tfs,
     render_sequence,
+    train_sequence_classifier,
 )
 from repro.core.tracking import FeatureTracker
 from repro.obs import get_metrics
@@ -177,36 +173,16 @@ def cmd_apply_iatf(args) -> int:
     return 0
 
 
-def _sample_mask(mask, n: int, rng) -> np.ndarray:
-    """Subsample a boolean mask down to at most ``n`` set voxels."""
-    idx = np.argwhere(mask)
-    if len(idx) == 0:
-        raise SystemExit("training mask selects no voxels")
-    if len(idx) > n:
-        idx = idx[rng.choice(len(idx), size=n, replace=False)]
-    out = np.zeros(mask.shape, dtype=bool)
-    out[tuple(idx.T)] = True
-    return out
-
-
 def cmd_classify(args) -> int:
     """Train a data-space classifier and classify every step."""
     sequence = load_sequence(args.seqdir)
-    rng = np.random.default_rng(args.seed)
-    radius = args.radius
-    if radius <= 0:
-        radius = derive_shell_radius(sequence.at_time(args.train_steps[0]).mask(args.mask))
-    extractor = ShellFeatureExtractor(radius=radius)
-    classifier = DataSpaceClassifier(extractor, seed=args.seed)
-    for t in args.train_steps:
-        vol = sequence.at_time(t)
-        gt = vol.mask(args.mask)
-        classifier.add_examples(
-            vol,
-            positive_mask=_sample_mask(gt, args.samples, rng),
-            negative_mask=_sample_mask(~gt, args.samples, rng),
-        )
-    classifier.train(epochs=args.epochs)
+    try:
+        classifier, radius = train_sequence_classifier(
+            sequence, mask=args.mask, train_steps=args.train_steps,
+            samples=args.samples, radius=args.radius, epochs=args.epochs,
+            seed=args.seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     backend = "process" if args.workers > 1 else "serial"
     pool = WorkerPool(workers=args.workers) if args.pool and args.workers > 1 else None
     try:
@@ -344,6 +320,15 @@ def cmd_track(args) -> int:
         np.save(out, result.masks)
         print(f"tracked masks saved to {out}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the resident pipeline daemon over a directory of sequences."""
+    from repro.serve.server import run_server
+
+    return run_server(args.root, host=args.host, port=args.port,
+                      workers=args.workers, max_queue=args.max_queue,
+                      request_timeout=args.timeout)
 
 
 def cmd_run(args) -> int:
@@ -528,6 +513,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process-parallel per-brick labeling (bricked engine)")
     p.add_argument("--out", help="save tracked masks as .npy")
     p.set_defaults(func=cmd_track)
+
+    p = sub.add_parser("serve", help="resident pipeline daemon over stored "
+                                     "sequences (classify/track/render/run "
+                                     "over HTTP with request coalescing)")
+    p.add_argument("--root", required=True,
+                   help="directory whose subdirectories are stored sequences "
+                        "(each with a sequence.json); also hosts the "
+                        "daemon's cache, store, and run directories")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8737,
+                   help="listen port (0 picks a free one; printed at startup)")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="resident worker-pool size shared by every request")
+    p.add_argument("--max-queue", type=_positive_int, default=32,
+                   help="distinct in-flight computes before new keys get 429 "
+                        "(coalesced joins are never bounced)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="per-request compute timeout in seconds (504; "
+                        "override per request with 'timeout_s')")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("run", help="crash-safe resumable pipeline run")
     p.add_argument("config", nargs="?",

@@ -24,7 +24,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.cache.shared import SharedArrayCache
-from repro.core.dataspace import DataSpaceClassifier
+from repro.core.dataspace import (
+    DataSpaceClassifier,
+    ShellFeatureExtractor,
+    derive_shell_radius,
+)
 from repro.core.iatf import AdaptiveTransferFunction
 from repro.obs import get_metrics
 from repro.parallel.bricking import content_digest
@@ -93,6 +97,50 @@ def _task_caches(cache, shared: bool, fan_out: bool, n_items: int) -> list:
     if cache is not None and shared and fan_out:
         return [cache.worker_clone() for _ in range(n_items)]
     return [cache] * n_items
+
+
+def _sample_training_mask(mask, n: int, rng) -> np.ndarray:
+    """Subsample a boolean mask down to at most ``n`` set voxels."""
+    idx = np.argwhere(mask)
+    if len(idx) == 0:
+        raise ValueError("training mask selects no voxels")
+    if len(idx) > n:
+        idx = idx[rng.choice(len(idx), size=n, replace=False)]
+    out = np.zeros(mask.shape, dtype=bool)
+    out[tuple(idx.T)] = True
+    return out
+
+
+def train_sequence_classifier(sequence: VolumeSequence, *, mask: str,
+                              train_steps: list[int], samples: int = 150,
+                              radius: int = 0, epochs: int = 300,
+                              seed: int = 11) -> tuple[DataSpaceClassifier, int]:
+    """Train a data-space classifier from a sequence's ground-truth masks.
+
+    This is the exact training recipe of ``repro classify`` — one RNG
+    seeded once drives every subsample, the shell radius derives from the
+    first training step's mask when ``radius <= 0`` — factored out so the
+    serve daemon and the CLI produce bit-identical classifiers for equal
+    parameters (the property the serve differential tests pin).
+
+    Returns ``(classifier, radius)``; raises :class:`ValueError` when a
+    training mask is empty.
+    """
+    rng = np.random.default_rng(seed)
+    if radius <= 0:
+        radius = derive_shell_radius(sequence.at_time(train_steps[0]).mask(mask))
+    extractor = ShellFeatureExtractor(radius=radius)
+    classifier = DataSpaceClassifier(extractor, seed=seed)
+    for t in train_steps:
+        vol = sequence.at_time(t)
+        gt = vol.mask(mask)
+        classifier.add_examples(
+            vol,
+            positive_mask=_sample_training_mask(gt, samples, rng),
+            negative_mask=_sample_training_mask(~gt, samples, rng),
+        )
+    classifier.train(epochs=epochs)
+    return classifier, radius
 
 
 def _classify_one(payload) -> tuple:

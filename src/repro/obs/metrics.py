@@ -35,34 +35,50 @@ _SINK_ENV = "REPRO_OBS_SINK"
 
 @dataclass
 class Counter:
-    """A named monotonically increasing count."""
+    """A named monotonically increasing count.
+
+    ``inc`` is thread-safe: the serve daemon's event loop, its compute
+    dispatcher, and forked-from-threads helpers all bump the same
+    instruments, and an unlocked ``+=`` is a read-modify-write race that
+    silently drops increments under contention.
+    """
 
     name: str
     value: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def inc(self, n: int = 1) -> None:
         """Add ``n`` (must be non-negative) to the count."""
         if n < 0:
             raise ValueError(f"counter increment must be >= 0, got {n}")
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 @dataclass
 class TimerStat:
-    """Accumulated duration statistics for one named operation."""
+    """Accumulated duration statistics for one named operation.
+
+    ``record`` is thread-safe for the same reason :meth:`Counter.inc`
+    is — every field update is a lost-update race without the lock.
+    """
 
     name: str
     count: int = 0
     total: float = 0.0
     min: float = field(default=float("inf"))
     max: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record(self, seconds: float) -> None:
         """Fold one observed duration into the statistics."""
-        self.count += 1
-        self.total += seconds
-        self.min = seconds if seconds < self.min else self.min
-        self.max = seconds if seconds > self.max else self.max
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            self.min = seconds if seconds < self.min else self.min
+            self.max = seconds if seconds > self.max else self.max
 
     @property
     def mean(self) -> float:
@@ -84,6 +100,7 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         self._start = time.perf_counter()
+        self._registry._begin_span(self)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -98,6 +115,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._timers: dict[str, TimerStat] = {}
+        self._active: dict[int, tuple[str, float]] = {}
         self._sink = sink if sink is not None else os.environ.get(_SINK_ENV) or None
 
     # ------------------------------------------------------------------ #
@@ -139,7 +157,13 @@ class MetricsRegistry:
         """Current sink path, or ``None`` when span logging is off."""
         return self._sink
 
+    def _begin_span(self, span: _Span) -> None:
+        with self._lock:
+            self._active[id(span)] = (span.name, time.perf_counter())
+
     def _finish_span(self, span: _Span, error: str | None) -> None:
+        with self._lock:
+            self._active.pop(id(span), None)
         self.timer(span.name).record(span.duration)
         sink = self._sink
         if sink is None:
@@ -179,6 +203,19 @@ class MetricsRegistry:
             return {n: c.value for n, c in self._counters.items()
                     if n.startswith(prefix)}
 
+    def active_spans(self) -> list[dict]:
+        """Spans currently open (name + elapsed seconds), oldest first.
+
+        The serve daemon's ``/metrics`` endpoint reports these so an
+        operator can see what a busy process is *currently* doing, not
+        just what it has finished.
+        """
+        now = time.perf_counter()
+        with self._lock:
+            active = sorted(self._active.values(), key=lambda item: item[1])
+        return [{"name": name, "elapsed_s": now - start}
+                for name, start in active]
+
     def snapshot(self) -> dict:
         """JSON-serializable dump of every counter and timer."""
         with self._lock:
@@ -195,6 +232,31 @@ class MetricsRegistry:
                     for n, t in self._timers.items()
                 },
             }
+
+    def export_text(self) -> str:
+        """Deterministic plain-text dump: counters, timers, in-flight spans.
+
+        The serve daemon's ``GET /metrics`` body.  Format is line-based
+        and grep-friendly: one ``<name> <value>`` line per counter, one
+        ``<name> count=<n> total_s=<t> mean_s=<m> min_s=<lo> max_s=<hi>``
+        line per timer, one ``<name> elapsed_s=<e>`` line per span still
+        open at export time.  Sections are sorted by name so two exports
+        of the same state are byte-identical.
+        """
+        snap = self.snapshot()
+        lines = ["# counters"]
+        for name in sorted(snap["counters"]):
+            lines.append(f"{name} {snap['counters'][name]}")
+        lines.append("# timers")
+        for name in sorted(snap["timers"]):
+            t = snap["timers"][name]
+            lines.append(f"{name} count={t['count']} total_s={t['total_s']:.6f} "
+                         f"mean_s={t['mean_s']:.6f} min_s={t['min_s']:.6f} "
+                         f"max_s={t['max_s']:.6f}")
+        lines.append("# inflight")
+        for span in self.active_spans():
+            lines.append(f"{span['name']} elapsed_s={span['elapsed_s']:.6f}")
+        return "\n".join(lines) + "\n"
 
     def reset(self, prefix: str = "") -> None:
         """Drop counters and timers (sink configuration is kept).

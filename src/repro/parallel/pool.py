@@ -43,11 +43,14 @@ the per-map pool backend.
 
 from __future__ import annotations
 
+import concurrent.futures
 import hashlib
 import heapq
 import multiprocessing as mp
 import os
 import pickle
+import queue
+import threading
 import time
 import traceback
 from collections import deque
@@ -284,6 +287,21 @@ class WorkerPool:
     def pids(self) -> list[int]:
         """PIDs of the live resident workers (for chaos tests)."""
         return [s.process.pid for s in self._slots if s.process.is_alive()]
+
+    def prespawn(self) -> int:
+        """Spawn every worker slot now instead of lazily; returns the count.
+
+        Normally spawning is deferred to the first dispatched task.  A
+        long-lived multi-threaded host (the serve daemon) wants the forks
+        to happen at startup, while the process is still effectively
+        single-threaded — forking later, with an event loop mid-mutation
+        in another thread, can copy held locks into the child.
+        """
+        if self._closed:
+            raise PoolError("cannot prespawn on a closed pool")
+        while len(self._live_slots()) < self.workers:
+            self._slots.append(self._spawn_slot())
+        return len(self._live_slots())
 
     # ------------------------------------------------------------------ #
     # Broadcast registry
@@ -616,3 +634,95 @@ class WorkerPool:
             self.close(timeout=0.5)
         except Exception:  # noqa: BLE001
             pass
+
+
+class PoolDispatcher:
+    """Thread-confined driver for a resident pool: the bridge that lets an
+    event loop (or any thread) run pool-backed work safely.
+
+    A :class:`WorkerPool` is deliberately single-threaded: its scheduler
+    state (slots, queues, the ``connection.wait`` pump) is only
+    consistent when one thread drives it.  An asyncio server cannot call
+    ``map_timesteps(pool=...)`` from handler coroutines — every handler
+    runs on the loop thread, and the pump would block the loop.  The
+    dispatcher solves both at once: it owns one dedicated daemon thread
+    plus the pool, executes submitted jobs **on that thread, one at a
+    time, in submission order**, and hands the caller a
+    :class:`concurrent.futures.Future` (which asyncio adapts with
+    ``asyncio.wrap_future``).  A job is any callable; because it runs on
+    the pool's home thread it may freely drive the pool —
+    ``map_timesteps(pool=dispatcher.pool)``, ``pool.submit``/``wait`` —
+    and fan its work across the resident workers.
+
+    Jobs serialize against each other by design: one pool, one set of
+    workers, so two concurrent pool-backed jobs would only contend.  The
+    serve daemon layers request coalescing and a bounded queue on top.
+
+    ``prespawn=True`` spawns the pool's workers as the dispatcher's
+    first job, so the forks happen at startup before the host process
+    grows threads (see :meth:`WorkerPool.prespawn`).
+    """
+
+    def __init__(self, workers: int | None = None, context=None,
+                 pool: WorkerPool | None = None, prespawn: bool = False) -> None:
+        self._pool = pool if pool is not None else WorkerPool(workers=workers,
+                                                              context=context)
+        self._own_pool = pool is None
+        self._jobs: queue.SimpleQueue = queue.SimpleQueue()
+        self._closed = False
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-pool-dispatcher")
+        self._thread.start()
+        if prespawn and self._pool.workers > 1:
+            self.submit(self._pool.prespawn)
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The owned pool — only touch it from inside a submitted job."""
+        return self._pool
+
+    def pending(self) -> int:
+        """Jobs enqueued but not yet picked up (approximate, lock-free)."""
+        return self._jobs.qsize()
+
+    def submit(self, fn, *args, **kwargs) -> concurrent.futures.Future:
+        """Schedule ``fn(*args, **kwargs)`` on the dispatcher thread.
+
+        Thread-safe; returns immediately.  The future resolves with the
+        job's return value or exception.  Cancelling the future works
+        until the job starts (standard ``concurrent.futures`` semantics).
+        """
+        if self._closed:
+            raise PoolError("cannot submit to a closed dispatcher")
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        self._jobs.put((future, fn, args, kwargs))
+        return future
+
+    def _run(self) -> None:
+        while True:
+            job = self._jobs.get()
+            if job is None:
+                break
+            future, fn, args, kwargs = job
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 - future owns policy
+                future.set_exception(exc)
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting jobs, drain the queue, reap the pool (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._jobs.put(None)
+        self._thread.join(timeout)
+        if self._own_pool:
+            self._pool.close()
+
+    def __enter__(self) -> "PoolDispatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -97,12 +97,22 @@ class Image:
         path.write_bytes(header + rgb8.tobytes())
         return path
 
+    def png_bytes(self) -> bytes:
+        """The 8-bit RGB PNG encoding of this image as a byte string.
+
+        Exactly the bytes :meth:`save_png` writes — the serve daemon
+        streams these over HTTP, and byte-comparing a served frame
+        against a CLI-written file is how the differential tests prove
+        the daemon renders identically.
+        """
+        rgb8 = (self.composited() * 255.0 + 0.5).astype(np.uint8)
+        return encode_png_rgb(rgb8)
+
     def save_png(self, path) -> Path:
         """Write an 8-bit RGB PNG (stdlib-only encoder); returns the path."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        rgb8 = (self.composited() * 255.0 + 0.5).astype(np.uint8)
-        path.write_bytes(encode_png_rgb(rgb8))
+        path.write_bytes(self.png_bytes())
         return path
 
 

@@ -183,15 +183,22 @@ class PipelineRunner:
     """
 
     def __init__(self, config: RunConfig, run_dir, workers: int | None = None,
-                 pipelined: bool = False) -> None:
+                 pipelined: bool = False, store: ArtifactStore | None = None,
+                 pool: WorkerPool | None = None) -> None:
         self.config = config
         self.run_dir = Path(run_dir)
-        self.store = ArtifactStore(self.run_dir / "store")
+        # ``store`` plugs in an external (typically shared, longer-lived)
+        # artifact store: the serve daemon passes one resident store so
+        # artifacts memoize *across* run requests, not just within one.
+        self.store = store if store is not None else ArtifactStore(self.run_dir / "store")
         self.exec_workers = workers if workers is not None else config.workers
         if self.exec_workers < 1:
             raise RunError(f"workers must be >= 1, got {self.exec_workers}")
         self.pipelined = pipelined
         self._pool = None
+        # ``pool`` likewise reuses resident workers across runs; an
+        # external pool is never closed by the runner.
+        self._external_pool = pool
         self._metrics = get_metrics()
         self._task_no = 0      # global number of the next *executed* task
         self._executed = 0
@@ -202,7 +209,8 @@ class PipelineRunner:
     # ------------------------------------------------------------------ #
     @classmethod
     def create(cls, config: RunConfig, run_dir, workers: int | None = None,
-               pipelined: bool = False) -> "PipelineRunner":
+               pipelined: bool = False, store: ArtifactStore | None = None,
+               pool: WorkerPool | None = None) -> "PipelineRunner":
         """Start a fresh run directory (refuses to clobber an existing run)."""
         run_dir = Path(run_dir)
         if (run_dir / "manifest.json").exists() or (run_dir / "config.json").exists():
@@ -213,11 +221,13 @@ class PipelineRunner:
         # rewritten, and sufficient on its own to resume.
         atomic_write_text(run_dir / "config.json",
                           json.dumps(config.to_dict(), sort_keys=True, indent=2) + "\n")
-        return cls(config, run_dir, workers=workers, pipelined=pipelined)
+        return cls(config, run_dir, workers=workers, pipelined=pipelined,
+                   store=store, pool=pool)
 
     @classmethod
     def resume(cls, run_dir, workers: int | None = None,
-               pipelined: bool = False) -> "PipelineRunner":
+               pipelined: bool = False, store: ArtifactStore | None = None,
+               pool: WorkerPool | None = None) -> "PipelineRunner":
         """Reopen an interrupted run directory from its stored config."""
         run_dir = Path(run_dir)
         config_path = run_dir / "config.json"
@@ -238,7 +248,8 @@ class PipelineRunner:
                     f"{run_dir}: manifest was produced by a different config "
                     f"(fingerprint {manifest.config_fingerprint} != "
                     f"{config.fingerprint()})")
-        return cls(config, run_dir, workers=workers, pipelined=pipelined)
+        return cls(config, run_dir, workers=workers, pipelined=pipelined,
+                   store=store, pool=pool)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -269,8 +280,9 @@ class PipelineRunner:
             if self.exec_workers > 1:
                 # One resident pool for the entire run: every stage's map
                 # (and, pipelined, every submitted chain) reuses the same
-                # workers — one spawn cost per run, not per map.
-                self._pool = WorkerPool(workers=self.exec_workers)
+                # workers — one spawn cost per run, not per map.  An
+                # external pool (the serve daemon's) is reused as-is.
+                self._pool = self._external_pool or WorkerPool(workers=self.exec_workers)
             with self._metrics.span("run.total", stages=len(config.stages),
                                     pipelined=self.pipelined):
                 if self.pipelined:
@@ -278,9 +290,9 @@ class PipelineRunner:
                 else:
                     self._run_barrier(sequence)
         finally:
-            if self._pool is not None:
+            if self._pool is not None and self._pool is not self._external_pool:
                 self._pool.close()
-                self._pool = None
+            self._pool = None
         self._write_stats()
         return RunReport(
             run_dir=self.run_dir,

@@ -1,0 +1,49 @@
+"""Pipeline-as-a-service: the resident ``repro serve`` daemon.
+
+The batch CLI pays its fixed costs — classifier training, sequence
+loading, worker-pool forks — on every invocation.  The daemon pays them
+once and keeps them resident: trained classifiers, loaded sequences, the
+shared array cache, the run artifact store, and the worker pool all
+survive across requests, and concurrent identical requests coalesce onto
+one in-flight compute.  Responses are byte-identical to the equivalent
+cold CLI invocation (the differential tests pin this).
+
+Layout:
+
+- :mod:`~repro.serve.server` — asyncio HTTP front end + lifecycle;
+- :mod:`~repro.serve.handlers` — resident state + endpoint computes;
+- :mod:`~repro.serve.coalescer` — in-flight request dedup;
+- :mod:`~repro.serve.router` — path routing;
+- :mod:`~repro.serve.client` — stdlib client with retry/backoff/429 handling;
+- :mod:`~repro.serve.errors` — typed failures mapped to HTTP statuses.
+"""
+
+from repro.serve.client import (
+    ServeBusy,
+    ServeClient,
+    ServeClientError,
+    ServeHTTPError,
+    ServeTimeout,
+    ServeUnavailable,
+)
+from repro.serve.coalescer import RequestCoalescer
+from repro.serve.errors import BadRequest, NotFound, ServeError
+from repro.serve.handlers import ServeState
+from repro.serve.server import ServeApp, ServerHandle, run_server
+
+__all__ = [
+    "BadRequest",
+    "NotFound",
+    "RequestCoalescer",
+    "ServeApp",
+    "ServeBusy",
+    "ServeClient",
+    "ServeClientError",
+    "ServeError",
+    "ServeHTTPError",
+    "ServeState",
+    "ServeTimeout",
+    "ServeUnavailable",
+    "ServerHandle",
+    "run_server",
+]

@@ -1,0 +1,172 @@
+"""Stdlib client for the serve daemon: retries, timeouts, 429 handling.
+
+``http.client`` only — the same zero-dependency rule as the server.  One
+fresh connection per request (the server closes after every response),
+so a client object is cheap, stateless, and safe to share across
+threads.
+
+Failure taxonomy mirrors what callers need to branch on:
+
+- :class:`ServeUnavailable` — could not connect (daemon not up yet, or
+  gone); retried ``retries`` times with exponential backoff first, which
+  is how CI waits out daemon startup.
+- :class:`ServeTimeout` — no response within ``timeout`` seconds.
+- :class:`ServeBusy` — 429 backpressure; carries the server's
+  ``Retry-After`` hint.  With ``retry_busy > 0`` the client honors the
+  hint that many times before giving up.
+- :class:`ServeHTTPError` — any other non-2xx, with status and the
+  server's error message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+
+
+class ServeClientError(Exception):
+    """Base class for client-side failures."""
+
+
+class ServeUnavailable(ServeClientError):
+    """Connection refused/reset — the daemon is not (yet) reachable."""
+
+
+class ServeTimeout(ServeClientError):
+    """The daemon did not answer within the client timeout."""
+
+
+class ServeBusy(ServeClientError):
+    """429: the compute queue is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServeHTTPError(ServeClientError):
+    """Any other non-2xx response, with its status code and message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Talk to one daemon at ``host:port``.
+
+    ``retries`` covers *connection* failures only (exponential backoff
+    from ``backoff`` seconds); ``retry_busy`` covers 429 responses
+    (sleeping the server's ``Retry-After``).  Both default to zero so
+    failures surface immediately unless the caller opts in to waiting.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 timeout: float = 30.0, retries: int = 0,
+                 backoff: float = 0.1, retry_busy: int = 0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.retry_busy = int(retry_busy)
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def request(self, method: str, path: str, payload: dict | None = None
+                ) -> tuple[int, dict, bytes]:
+        """One HTTP exchange; returns ``(status, headers, body)``.
+
+        Applies the connection-retry and 429-retry policies; raises the
+        taxonomy above for anything it cannot turn into a response.
+        """
+        body = json.dumps(payload).encode() if payload is not None else None
+        busy_left = self.retry_busy
+        attempt = 0
+        while True:
+            try:
+                status, headers, data = self._exchange(method, path, body)
+            except (ConnectionRefusedError, ConnectionResetError,
+                    http.client.RemoteDisconnected, OSError) as exc:
+                if isinstance(exc, socket.timeout):
+                    raise ServeTimeout(
+                        f"no response from {self.host}:{self.port} "
+                        f"within {self.timeout:g}s") from None
+                if attempt >= self.retries:
+                    raise ServeUnavailable(
+                        f"cannot reach {self.host}:{self.port} "
+                        f"after {attempt + 1} attempt(s): {exc}") from None
+                time.sleep(self.backoff * (2 ** attempt))
+                attempt += 1
+                continue
+            if status == 429:
+                retry_after = float(headers.get("retry-after", "1") or "1")
+                if busy_left <= 0:
+                    raise ServeBusy(self._error_message(data), retry_after)
+                busy_left -= 1
+                time.sleep(retry_after)
+                continue
+            return status, headers, data
+
+    def _exchange(self, method: str, path: str, body: bytes | None
+                  ) -> tuple[int, dict, bytes]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return (response.status,
+                    {k.lower(): v for k, v in response.getheaders()}, data)
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _error_message(data: bytes) -> str:
+        try:
+            return json.loads(data)["error"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            return data.decode(errors="replace").strip() or "(no body)"
+
+    def _json(self, method: str, path: str, payload: dict | None = None) -> dict:
+        status, _headers, data = self.request(method, path, payload)
+        if status >= 400:
+            raise ServeHTTPError(status, self._error_message(data))
+        return json.loads(data)
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> str:
+        status, _headers, data = self.request("GET", "/metrics")
+        if status >= 400:
+            raise ServeHTTPError(status, self._error_message(data))
+        return data.decode()
+
+    def classify(self, **params) -> dict:
+        return self._json("POST", "/v1/classify", params)
+
+    def track(self, **params) -> dict:
+        return self._json("POST", "/v1/track", params)
+
+    def render(self, **params) -> dict:
+        return self._json("POST", "/v1/render", params)
+
+    def run(self, config: dict, **params) -> dict:
+        return self._json("POST", "/v1/run", {"config": config, **params})
+
+    def frame(self, digest_or_path: str) -> bytes:
+        """Fetch one rendered frame's PNG bytes by digest or ``path``."""
+        path = (digest_or_path if digest_or_path.startswith("/")
+                else f"/v1/frames/{digest_or_path}")
+        status, _headers, data = self.request("GET", path)
+        if status >= 400:
+            raise ServeHTTPError(status, self._error_message(data))
+        return data

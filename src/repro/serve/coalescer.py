@@ -1,0 +1,75 @@
+"""Request coalescing: concurrent identical requests share one compute.
+
+The daemon exists to keep heavy state resident; the coalescer makes the
+*work* resident too.  When K clients ask for the same thing while it is
+still being computed — the thundering-herd shape of a dashboard with many
+viewers — exactly one compute runs and K waiters share its result.  Keys
+are content-derived (:func:`repro.cache.store.derive_key` over the
+endpoint and its canonical parameters), so "the same thing" means equal
+inputs, not equal socket or arrival order.
+
+Counters: ``serve.computes`` counts computes actually started,
+``serve.coalesced`` counts requests that joined an in-flight one — the
+pair the concurrency battery asserts exactly.
+
+Waiters await the shared task through :func:`asyncio.shield`, which is
+what makes a mid-flight client disconnect harmless: cancelling one
+waiter's coroutine never cancels the shared compute, so the remaining
+waiters (and the resident caches) still get the result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.obs import get_metrics
+
+
+class RequestCoalescer:
+    """In-flight dedup table: one compute per key, any number of waiters.
+
+    Single-threaded by design — every method runs on the event loop, so
+    the check-then-register in :meth:`fetch` is atomic without locks
+    (there is no ``await`` between lookup and registration).
+    """
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+
+    def inflight(self) -> int:
+        """Number of distinct computes currently running."""
+        return len(self._inflight)
+
+    def has(self, key: str) -> bool:
+        """Whether a compute for ``key`` is currently in flight."""
+        return key in self._inflight
+
+    async def fetch(self, key: str, compute):
+        """Return the result for ``key``, computing it at most once.
+
+        ``compute`` is a zero-argument callable returning an awaitable;
+        it is invoked only when no compute for ``key`` is in flight.
+        The in-flight entry is removed when the compute resolves (result
+        *or* exception — a failed compute is not cached, so the next
+        request retries), and an exception propagates to every waiter.
+        """
+        task = self._inflight.get(key)
+        if task is None:
+            task = asyncio.ensure_future(compute())
+            self._inflight[key] = task
+            task.add_done_callback(self._make_evict(key))
+            get_metrics().counter("serve.computes").inc()
+        else:
+            get_metrics().counter("serve.coalesced").inc()
+        return await asyncio.shield(task)
+
+    def _make_evict(self, key: str):
+        def evict(task: asyncio.Future) -> None:
+            if self._inflight.get(key) is task:
+                del self._inflight[key]
+            if not task.cancelled():
+                # Mark any failure retrieved: if every waiter timed out or
+                # disconnected, nobody else will, and the loop would log a
+                # spurious "exception was never retrieved" at teardown.
+                task.exception()
+        return evict

@@ -1,0 +1,29 @@
+"""Typed request failures the server maps onto HTTP status codes.
+
+Handlers (which run on the compute dispatcher thread) raise these; the
+event-loop side catches them and writes the matching response, so the
+status policy lives in one place and compute code never touches sockets.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(Exception):
+    """Base class: a request that cannot be served as asked."""
+
+    status = 500
+    reason = "Internal Server Error"
+
+
+class BadRequest(ServeError):
+    """The request body is malformed or names invalid parameters."""
+
+    status = 400
+    reason = "Bad Request"
+
+
+class NotFound(ServeError):
+    """The named sequence, frame, or route does not exist."""
+
+    status = 404
+    reason = "Not Found"

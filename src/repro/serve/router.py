@@ -1,0 +1,75 @@
+"""Minimal path router: exact segments plus ``{name}`` captures.
+
+Deliberately tiny — the daemon has a fixed handful of routes, so the
+router is a list scan over split paths, not a trie.  It distinguishes
+"no such path" (404) from "path exists, wrong method" (405) because the
+client helper relies on stable status semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class _Route:
+    method: str
+    segments: tuple[str, ...]
+    handler: object
+
+    def match(self, parts: tuple[str, ...]) -> dict | None:
+        if len(parts) != len(self.segments):
+            return None
+        params = {}
+        for pattern, part in zip(self.segments, parts):
+            if pattern.startswith("{") and pattern.endswith("}"):
+                if not part:
+                    return None
+                params[pattern[1:-1]] = part
+            elif pattern != part:
+                return None
+        return params
+
+
+class Router:
+    """Maps ``(method, path)`` to a handler plus captured path params."""
+
+    def __init__(self) -> None:
+        self._routes: list[_Route] = []
+
+    def add(self, method: str, pattern: str, handler) -> None:
+        """Register ``handler`` for ``method`` on ``pattern``.
+
+        ``pattern`` is a ``/``-joined path whose ``{name}`` segments
+        capture one path component each (e.g. ``/v1/frames/{key}``).
+        """
+        segments = tuple(pattern.strip("/").split("/"))
+        self._routes.append(_Route(method.upper(), segments, handler))
+
+    def match(self, method: str, path: str) -> tuple[object, dict] | None:
+        """The ``(handler, params)`` for a request line.
+
+        Returns ``None`` for an unknown path; raises
+        :class:`MethodNotAllowed` when the path exists under a different
+        method (listing the allowed ones).
+        """
+        parts = tuple(path.strip("/").split("/"))
+        allowed: list[str] = []
+        for route in self._routes:
+            params = route.match(parts)
+            if params is None:
+                continue
+            if route.method == method.upper():
+                return route.handler, params
+            allowed.append(route.method)
+        if allowed:
+            raise MethodNotAllowed(sorted(set(allowed)))
+        return None
+
+
+class MethodNotAllowed(Exception):
+    """The path matched a route registered under different methods."""
+
+    def __init__(self, allowed: list[str]) -> None:
+        super().__init__(f"method not allowed; allowed: {', '.join(allowed)}")
+        self.allowed = allowed

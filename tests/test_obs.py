@@ -109,3 +109,95 @@ class TestExecutorInstrumentation:
         assert snap["counters"]["executor.tasks"] == 3
         assert snap["counters"]["executor.retries"] == 1
         assert snap["timers"]["executor.map"]["count"] == 1
+
+
+class TestThreadSafety:
+    """Regression: counters/timers/spans are mutated from many threads.
+
+    The serve daemon increments request counters on the event loop while
+    pool and dispatcher threads record timers; before the per-instance
+    locks, concurrent ``inc`` lost updates (read-modify-write race).
+    These hammers assert *exact* totals, which only hold when every
+    mutation is atomic.
+    """
+
+    def _hammer(self, fn, threads=8, repeats=10_000):
+        import threading
+
+        barrier = threading.Barrier(threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(repeats):
+                fn()
+
+        ts = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        return threads * repeats
+
+    def test_counter_inc_is_atomic_across_threads(self):
+        m = MetricsRegistry()
+        counter = m.counter("hammered")
+        expected = self._hammer(counter.inc)
+        assert counter.value == expected
+
+    def test_timer_record_is_atomic_across_threads(self):
+        m = MetricsRegistry()
+        timer = m.timer("hammered")
+        expected = self._hammer(lambda: timer.record(0.5))
+        assert timer.count == expected
+        assert timer.total == pytest.approx(0.5 * expected)
+
+    def test_concurrent_counter_creation_yields_one_instance(self):
+        import threading
+
+        m = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            seen.append(m.counter("shared"))
+
+        ts = [threading.Thread(target=worker) for _ in range(8)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert all(c is seen[0] for c in seen)
+
+
+class TestExport:
+    def test_active_spans_tracks_open_spans(self):
+        m = MetricsRegistry()
+        assert m.active_spans() == []
+        with m.span("outer"):
+            spans = m.active_spans()
+            assert [s["name"] for s in spans] == ["outer"]
+            assert spans[0]["elapsed_s"] >= 0.0
+        assert m.active_spans() == []
+
+    def test_active_spans_cleared_on_error(self):
+        m = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with m.span("doomed"):
+                raise RuntimeError("boom")
+        assert m.active_spans() == []
+
+    def test_export_text_is_deterministic_and_complete(self):
+        m = MetricsRegistry()
+        m.counter("b.two").inc(2)
+        m.counter("a.one").inc()
+        m.timer("t").record(0.25)
+        text = m.export_text()
+        assert text == m.export_text()
+        lines = text.splitlines()
+        assert "a.one 1" in lines
+        assert "b.two 2" in lines
+        assert any(line.startswith("t count=1 ") for line in lines)
+        with m.span("open"):
+            assert any(line.startswith("open elapsed_s=")
+                       for line in m.export_text().splitlines())

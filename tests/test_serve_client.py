@@ -1,0 +1,169 @@
+"""ServeClient policy tests: timeouts, connection retry, 429 handling.
+
+The retry/backoff/busy policies are unit-tested by stubbing the
+transport (`_exchange`), so they are deterministic and need no sockets;
+the timeout test uses a real listener that accepts and then stays
+silent, because socket timeout classification is exactly the thing
+worth testing against a real socket.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.serve import (
+    ServeBusy,
+    ServeClient,
+    ServeHTTPError,
+    ServeTimeout,
+    ServeUnavailable,
+)
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+class _Script:
+    """Replaces ``ServeClient._exchange`` with a scripted transport.
+
+    Each entry is either an exception instance (raised) or a
+    ``(status, headers, body)`` tuple (returned); calls are recorded.
+    """
+
+    def __init__(self, *steps):
+        self.steps = list(steps)
+        self.calls = 0
+
+    def __call__(self, method, path, body):
+        self.calls += 1
+        step = self.steps.pop(0)
+        if isinstance(step, BaseException):
+            raise step
+        return step
+
+
+OK = (200, {}, b'{"ok": true}')
+BUSY = (429, {"retry-after": "0"}, b'{"error": "queue full", "status": 429}')
+
+
+class TestConnectionRetry:
+    def test_no_retries_surfaces_unavailable_immediately(self, monkeypatch):
+        script = _Script(ConnectionRefusedError("refused"))
+        client = ServeClient(port=1, retries=0)
+        monkeypatch.setattr(client, "_exchange", script)
+        with pytest.raises(ServeUnavailable):
+            client.healthz()
+        assert script.calls == 1
+
+    def test_retries_ride_out_startup_refusals(self, monkeypatch):
+        script = _Script(ConnectionRefusedError("refused"),
+                         ConnectionRefusedError("refused"), OK)
+        client = ServeClient(port=1, retries=3, backoff=0.01)
+        monkeypatch.setattr(client, "_exchange", script)
+        assert client.healthz() == {"ok": True}
+        assert script.calls == 3
+
+    def test_retry_budget_exhausted_raises(self, monkeypatch):
+        script = _Script(*[ConnectionRefusedError("refused")] * 3)
+        client = ServeClient(port=1, retries=2, backoff=0.01)
+        monkeypatch.setattr(client, "_exchange", script)
+        with pytest.raises(ServeUnavailable) as info:
+            client.healthz()
+        assert "3 attempt(s)" in str(info.value)
+
+    def test_refused_against_real_closed_port(self):
+        client = ServeClient(port=_free_port(), timeout=5)
+        with pytest.raises(ServeUnavailable):
+            client.healthz()
+
+
+class TestTimeout:
+    def test_silent_server_raises_serve_timeout(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        accepted = []
+
+        def accept():
+            try:
+                accepted.append(listener.accept()[0])
+            except OSError:
+                pass
+
+        t = threading.Thread(target=accept)
+        t.start()
+        try:
+            client = ServeClient(port=port, timeout=0.3)
+            with pytest.raises(ServeTimeout):
+                client.healthz()
+        finally:
+            listener.close()
+            t.join(5)
+            for conn in accepted:
+                conn.close()
+
+    def test_timeout_is_not_retried_as_unavailable(self, monkeypatch):
+        script = _Script(socket.timeout("timed out"))
+        client = ServeClient(port=1, retries=5, backoff=0.01)
+        monkeypatch.setattr(client, "_exchange", script)
+        with pytest.raises(ServeTimeout):
+            client.healthz()
+        assert script.calls == 1
+
+
+class TestBusy:
+    def test_429_raises_serve_busy_with_hint(self, monkeypatch):
+        script = _Script((429, {"retry-after": "7"},
+                          b'{"error": "queue full", "status": 429}'))
+        client = ServeClient(port=1)
+        monkeypatch.setattr(client, "_exchange", script)
+        with pytest.raises(ServeBusy) as info:
+            client.classify(sequence="argon", mask="ring", train_steps=[0])
+        assert info.value.retry_after == 7.0
+        assert "queue full" in str(info.value)
+
+    def test_retry_busy_honors_hint_then_succeeds(self, monkeypatch):
+        script = _Script(BUSY, BUSY, OK)
+        client = ServeClient(port=1, retry_busy=2)
+        monkeypatch.setattr(client, "_exchange", script)
+        assert client.healthz() == {"ok": True}
+        assert script.calls == 3
+
+    def test_retry_busy_budget_exhausted_raises(self, monkeypatch):
+        script = _Script(BUSY, BUSY, BUSY)
+        client = ServeClient(port=1, retry_busy=2)
+        monkeypatch.setattr(client, "_exchange", script)
+        with pytest.raises(ServeBusy):
+            client.healthz()
+        assert script.calls == 3
+
+
+class TestErrors:
+    def test_http_error_carries_status_and_message(self, monkeypatch):
+        script = _Script((404, {}, b'{"error": "no such thing", "status": 404}'))
+        client = ServeClient(port=1)
+        monkeypatch.setattr(client, "_exchange", script)
+        with pytest.raises(ServeHTTPError) as info:
+            client.healthz()
+        assert info.value.status == 404
+        assert "no such thing" in str(info.value)
+
+    def test_non_json_error_body_degrades_gracefully(self, monkeypatch):
+        script = _Script((500, {}, b"<html>boom</html>"))
+        client = ServeClient(port=1)
+        monkeypatch.setattr(client, "_exchange", script)
+        with pytest.raises(ServeHTTPError) as info:
+            client.healthz()
+        assert "boom" in str(info.value)
+
+    def test_frame_accepts_digest_or_path(self, monkeypatch):
+        script = _Script((200, {}, b"PNG1"), (200, {}, b"PNG2"))
+        client = ServeClient(port=1)
+        monkeypatch.setattr(client, "_exchange", script)
+        assert client.frame("abcd") == b"PNG1"
+        assert client.frame("/v1/frames/abcd") == b"PNG2"
