@@ -1,14 +1,25 @@
 #!/usr/bin/env python
 """CI perf-regression gate for the benchmark JSON artifacts.
 
-Compares every ``speedup_*`` key of a freshly produced ``BENCH_*.json``
-against the committed baseline and fails when any ratio drops more than
-``--tolerance`` below it.  Only *machine-relative* ratios are gated
-(fused-vs-gather and friends) — absolute voxels/sec vary wildly across CI
-hosts, but a path that is 11x faster than its reference on one machine
-does not become 2x on another unless the code regressed.  The committed
-baselines are deliberately conservative floors, not the development-host
-measurements, so noisy runners don't flake.
+Compares every gated metric of a freshly produced ``BENCH_*.json``
+against the committed baseline and fails on a regression beyond
+``--tolerance``.  Two metric families, gated in opposite directions:
+
+- ``speedup_*`` — bigger is better; fails when the fresh value drops
+  below ``baseline * (1 - tolerance)``.
+- ``latency_*`` — smaller is better; fails when the fresh value rises
+  above ``baseline * (1 + tolerance)``.
+
+Only *machine-relative* ratios belong in committed speedup baselines
+(fused-vs-gather and friends) — absolute voxels/sec vary wildly across
+CI hosts, but a path that is 11x faster than its reference on one
+machine does not become 2x on another unless the code regressed.
+Latency keys are absolute and therefore only meaningful against a
+baseline captured on comparable hardware (the nightly trajectory hosts);
+a ``BENCH_*.json`` may freely report latencies that the committed
+baseline chooses not to gate.  The committed baselines are deliberately
+conservative floors, not development-host measurements, so noisy
+runners don't flake.
 
 Usage:
     python benchmarks/check_perf_regression.py BENCH_classify.json \
@@ -23,14 +34,40 @@ import sys
 from pathlib import Path
 
 
-def iter_speedups(payload: dict, prefix: str = ""):
-    """Yield (dotted_key, value) for every ``speedup_*`` number, nested."""
+def iter_metrics(payload: dict, prefix: str = ""):
+    """Yield (dotted_key, value) for every gated metric number, nested."""
     for key, value in payload.items():
         dotted = f"{prefix}{key}"
         if isinstance(value, dict):
-            yield from iter_speedups(value, prefix=f"{dotted}.")
-        elif key.startswith("speedup_") and isinstance(value, (int, float)):
+            yield from iter_metrics(value, prefix=f"{dotted}.")
+        elif (key.startswith(("speedup_", "latency_"))
+              and isinstance(value, (int, float))):
             yield dotted, float(value)
+
+
+def iter_speedups(payload: dict, prefix: str = ""):
+    """Yield only the ``speedup_*`` metrics (bigger-is-better family)."""
+    for dotted, value in iter_metrics(payload, prefix=prefix):
+        if dotted.rsplit(".", 1)[-1].startswith("speedup_"):
+            yield dotted, value
+
+
+def iter_latencies(payload: dict, prefix: str = ""):
+    """Yield only the ``latency_*`` metrics (smaller-is-better family)."""
+    for dotted, value in iter_metrics(payload, prefix=prefix):
+        if dotted.rsplit(".", 1)[-1].startswith("latency_"):
+            yield dotted, value
+
+
+def _gate(key: str, base: float, got: float | None, tolerance: float):
+    """Return (bound, delta_pct, verdict) for one metric row."""
+    reversed_gate = key.rsplit(".", 1)[-1].startswith("latency_")
+    bound = base * (1.0 + tolerance) if reversed_gate else base * (1.0 - tolerance)
+    if got is None:
+        return bound, None, "MISSING"
+    delta_pct = 100.0 * (got - base) / base if base else float("nan")
+    ok = got <= bound if reversed_gate else got >= bound
+    return bound, delta_pct, "ok" if ok else "REGRESSED"
 
 
 def main(argv=None) -> int:
@@ -38,39 +75,50 @@ def main(argv=None) -> int:
     parser.add_argument("fresh", help="BENCH_*.json produced by this run")
     parser.add_argument("baseline", help="committed baseline json")
     parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional drop below the baseline "
-                             "(default 0.25 = fresh >= 0.75 * baseline)")
+                        help="allowed fractional regression against the "
+                             "baseline (default 0.25: speedups may drop to "
+                             "0.75x, latencies may rise to 1.25x)")
     args = parser.parse_args(argv)
 
     fresh = json.loads(Path(args.fresh).read_text())
     baseline = json.loads(Path(args.baseline).read_text())
-    fresh_speedups = dict(iter_speedups(fresh))
-    baseline_speedups = dict(iter_speedups(baseline))
-    if not baseline_speedups:
-        print(f"error: no speedup_* keys in baseline {args.baseline}")
+    fresh_metrics = dict(iter_metrics(fresh))
+    baseline_metrics = dict(iter_metrics(baseline))
+    if not baseline_metrics:
+        print(f"error: no speedup_*/latency_* keys in baseline {args.baseline}")
         return 2
 
     failures = []
-    print(f"{'key':<45} {'baseline':>9} {'fresh':>9} {'floor':>9}  verdict")
-    for key, base in sorted(baseline_speedups.items()):
-        floor = base * (1.0 - args.tolerance)
-        got = fresh_speedups.get(key)
-        if got is None:
+    n_speedups = n_latencies = 0
+    print(f"{'key':<42} {'baseline':>9} {'fresh':>9} {'delta':>8} "
+          f"{'bound':>9}  verdict")
+    for key, base in sorted(baseline_metrics.items()):
+        reversed_gate = key.rsplit(".", 1)[-1].startswith("latency_")
+        n_latencies += reversed_gate
+        n_speedups += not reversed_gate
+        got = fresh_metrics.get(key)
+        bound, delta_pct, verdict = _gate(key, base, got, args.tolerance)
+        fresh_cell = "-" if got is None else f"{got:9.2f}"
+        delta_cell = "-" if delta_pct is None else f"{delta_pct:+7.1f}%"
+        print(f"{key:<42} {base:>9.2f} {fresh_cell:>9} {delta_cell:>8} "
+              f"{bound:>9.2f}  {verdict}")
+        if verdict == "MISSING":
             failures.append(f"{key}: missing from {args.fresh}")
-            print(f"{key:<45} {base:>9.2f} {'-':>9} {floor:>9.2f}  MISSING")
-            continue
-        ok = got >= floor
-        print(f"{key:<45} {base:>9.2f} {got:>9.2f} {floor:>9.2f}  "
-              f"{'ok' if ok else 'REGRESSED'}")
-        if not ok:
-            failures.append(f"{key}: {got:.2f} < floor {floor:.2f} "
-                            f"(baseline {base:.2f}, tolerance {args.tolerance})")
+        elif verdict == "REGRESSED":
+            direction = "above ceiling" if reversed_gate else "below floor"
+            failures.append(
+                f"{key}: {got:.2f} {direction} {bound:.2f} "
+                f"(baseline {base:.2f}, tolerance {args.tolerance})")
+
+    print(f"\ngated {len(baseline_metrics)} metric(s) "
+          f"({n_speedups} speedup, {n_latencies} latency): "
+          f"{len(failures)} regression(s)")
     if failures:
-        print("\nperf regression gate FAILED:")
+        print("perf regression gate FAILED:")
         for f in failures:
             print(f"  - {f}")
         return 1
-    print("\nperf regression gate passed")
+    print("perf regression gate passed")
     return 0
 
 

@@ -186,3 +186,13 @@ class ArtifactStore:
         """Every key with a metadata sidecar present (unverified), sorted."""
         return sorted(p.name[: -len(".meta.json")]
                       for p in self.root.glob("*.meta.json"))
+
+    def remove(self, key: str) -> None:
+        """Delete an artifact; a missing key is a no-op.
+
+        The sidecar goes first — it is what asserts payload completeness,
+        so concurrent readers see the key as absent rather than torn.
+        """
+        self.meta_path(key).unlink(missing_ok=True)
+        self.payload_path(key).unlink(missing_ok=True)
+        get_metrics().counter(f"{self.counter_prefix}.removed").inc()

@@ -52,7 +52,14 @@ from repro.metrics import feature_retention
 from repro.parallel.pool import WorkerPool
 from repro.render.camera import Camera
 from repro.render.raycast import ALPHA_CUTOFF
-from repro.run import ConfigError, PipelineRunner, RunConfig, RunError
+from repro.run import (
+    ConfigError,
+    FollowRunner,
+    PipelineRunner,
+    RunConfig,
+    RunError,
+    SimulatedWriter,
+)
 from repro.transfer.tf1d import TransferFunction1D
 from repro.volume.io import load_sequence, save_sequence
 
@@ -333,28 +340,70 @@ def cmd_serve(args) -> int:
 
 def cmd_run(args) -> int:
     """Execute (or resume) a crash-safe pipeline run directory."""
+    following = args.follow is not None
+    follow_options = {}
+    if following:
+        follow_options = dict(policy=args.follow_policy, poll=args.follow_poll,
+                              idle_timeout=args.follow_idle_timeout,
+                              max_steps=args.follow_max_steps)
     try:
         if args.resume:
             if args.config or args.out:
                 raise SystemExit("--resume takes the run directory only; "
                                  "the stored config.json drives the run")
-            runner = PipelineRunner.resume(args.resume, workers=args.workers,
-                                           pipelined=args.pipelined)
+            if following:
+                runner = FollowRunner.resume(args.resume, workers=args.workers,
+                                             **follow_options)
+            else:
+                runner = PipelineRunner.resume(args.resume, workers=args.workers,
+                                               pipelined=args.pipelined)
         else:
             if not args.config or not args.out:
                 raise SystemExit("a new run needs a config json and --out DIR "
                                  "(or --resume RUN_DIR to continue one)")
-            runner = PipelineRunner.create(RunConfig.from_json(args.config), args.out,
-                                           workers=args.workers,
-                                           pipelined=args.pipelined)
-        report = runner.run()
+            config = RunConfig.from_json(args.config)
+            if following:
+                runner = FollowRunner.create(config, args.out,
+                                             workers=args.workers,
+                                             **follow_options)
+            else:
+                runner = PipelineRunner.create(config, args.out,
+                                               workers=args.workers,
+                                               pipelined=args.pipelined)
+        if following:
+            # --follow DIR watches that directory; bare --follow watches
+            # the config's sequence directory as it is being written.
+            report = runner.follow(args.follow or None)
+        else:
+            report = runner.run()
     except (ConfigError, RunError) as exc:
         raise SystemExit(str(exc)) from None
     for stage, status in report.stages.items():
         print(f"stage {stage}: {status}")
     print(f"tasks: {report.executed} executed, {report.skipped} skipped "
           f"({report.artifacts} artifacts in store)")
+    if following:
+        lags = report.lag_seconds
+        p50 = f"{1e3 * float(np.percentile(lags, 50)):.1f}" if lags else "n/a"
+        p95 = f"{1e3 * float(np.percentile(lags, 95)):.1f}" if lags else "n/a"
+        print(f"follow: {report.steps} steps, {report.dropped} dropped, "
+              f"lag p50/p95 ms: {p50}/{p95}")
     print(f"run directory: {report.run_dir}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """Replay a saved sequence into a directory at a cadence (a stand-in
+    simulation for exercising ``repro run --follow``)."""
+    try:
+        writer = SimulatedWriter.from_directory(
+            args.source, args.out, cadence=args.cadence,
+            torn_steps=args.torn or (), torn_hold=args.torn_hold)
+    except OSError as exc:
+        raise SystemExit(f"cannot read sequence {args.source}: {exc}") from None
+    manifest = writer.run()
+    print(f"wrote {len(writer.sequence)} steps to {writer.out_dir} "
+          f"(manifest: {manifest})")
     return 0
 
 
@@ -550,7 +599,45 @@ def build_parser() -> argparse.ArgumentParser:
                         "chains overlap across steps on one resident "
                         "worker pool (track keeps its global barrier); "
                         "outputs are byte-identical to the barrier walk")
+    p.add_argument("--follow", nargs="?", const="", default=None,
+                   metavar="DIR",
+                   help="in-situ online mode: watch DIR (default: the "
+                        "config's sequence directory) while a simulation "
+                        "is still writing it, processing steps as they "
+                        "arrive; finalized outputs are byte-identical to "
+                        "an offline run over the completed sequence")
+    p.add_argument("--follow-policy", choices=["queue", "skip", "block"],
+                   default="queue",
+                   help="backpressure when the writer outpaces the "
+                        "follower: process every step in order (queue/"
+                        "block) or jump to the newest and backfill the "
+                        "rest at finalize (skip)")
+    p.add_argument("--follow-poll", type=float, default=0.05, metavar="S",
+                   help="seconds between directory scans while idle")
+    p.add_argument("--follow-idle-timeout", type=float, default=None,
+                   metavar="S",
+                   help="give up (resumably) after S seconds with no new "
+                        "step and no completion manifest")
+    p.add_argument("--follow-max-steps", type=_positive_int, default=None,
+                   metavar="N",
+                   help="finalize after N distinct steps (bounded smoke "
+                        "runs against endless writers)")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("simulate", help="replay a saved sequence to a "
+                       "directory at a cadence (stand-in simulation for "
+                       "follow mode)")
+    p.add_argument("source", help="completed sequence directory to replay")
+    p.add_argument("out", help="directory the stand-in simulation writes "
+                   "(what a follower watches)")
+    p.add_argument("--cadence", type=float, default=0.1, metavar="S",
+                   help="seconds between emitted steps")
+    p.add_argument("--torn", type=int, nargs="+", metavar="STEP",
+                   help="step indices first exposed as torn half-written "
+                        "bricks before completing properly")
+    p.add_argument("--torn-hold", type=float, default=0.2, metavar="S",
+                   help="how long a torn state stays visible")
+    p.set_defaults(func=cmd_simulate)
     return parser
 
 

@@ -40,6 +40,7 @@ Two execution engines and two consumption models:
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -367,8 +368,13 @@ class FeatureTracker:
         )
 
     @staticmethod
-    def _normalize_seeds(seed, n_steps: int) -> dict[int, list[tuple]]:
-        """Group ``(step_index, z, y, x)`` seed(s) by step index."""
+    def _normalize_seeds(seed, n_steps: int | None) -> dict[int, list[tuple]]:
+        """Group ``(step_index, z, y, x)`` seed(s) by step index.
+
+        ``n_steps=None`` defers the upper range check — an open-ended
+        :class:`TrackStream` does not know the step count until it is
+        finalized.
+        """
         seeds = np.atleast_2d(np.asarray(seed, dtype=np.int64))
         if seeds.ndim != 2 or seeds.shape[1] != 4 or seeds.shape[0] == 0:
             raise ValueError(
@@ -378,7 +384,7 @@ class FeatureTracker:
         by_step: dict[int, list[tuple]] = {}
         for row in seeds:
             step = int(row[0])
-            if not 0 <= step < n_steps:
+            if step < 0 or (n_steps is not None and step >= n_steps):
                 raise IndexError(
                     f"seed step index {step} out of range for {n_steps} steps"
                 )
@@ -432,6 +438,22 @@ class FeatureTracker:
             dst.append(slice(max(0, o), min(n, n + o)))
         out[tuple(dst)] = mask[tuple(src)]
         return out
+
+    def open_stream(self, seed, *, name: str = "custom",
+                    predict_seeds: bool = False,
+                    max_sweeps: int = 64) -> "TrackStream":
+        """Open an open-ended push-mode tracking session.
+
+        Unlike :meth:`track_streaming`, which pulls a known, complete
+        source, the returned :class:`TrackStream` accepts criterion masks
+        one at a time via :meth:`TrackStream.push` — including out of
+        time order, as an in-situ follower sees them — and reconciles to
+        the exact offline :func:`~repro.segmentation.regiongrow.grow_4d`
+        fixpoint at :meth:`TrackStream.finalize`.
+        """
+        seeds_by_step = self._normalize_seeds(seed, None)
+        return TrackStream(self, seeds_by_step, name,
+                           predict=predict_seeds, max_sweeps=max_sweeps)
 
     def track_streaming(self, source, seed, *, lo: float | None = None,
                         hi: float | None = None,
@@ -502,14 +524,8 @@ class FeatureTracker:
         n_steps = len(loaders)
         seeds_by_step = self._normalize_seeds(seed, n_steps)
         metrics = get_metrics()
-        packed_crit: list[np.ndarray] = []
-        packed_mask: list[np.ndarray] = []
-        counts: list[int] = []
-        times: list[int] = []
-        shape: tuple | None = None
-        prev: np.ndarray | None = None
-        prev_centroid: np.ndarray | None = None
-        velocity = np.zeros(3)
+        stream = TrackStream(self, seeds_by_step, crit_name,
+                             predict=predict_seeds, max_sweeps=max_sweeps)
 
         # Only the *load* rides the producer thread: volume I/O releases
         # the GIL, so it genuinely overlaps the (GIL-bound) criterion
@@ -528,7 +544,7 @@ class FeatureTracker:
         with metrics.span("track.streaming", steps=n_steps, criterion=crit_name,
                           refine=bool(refine), engine=self.engine,
                           prefetch=use_prefetch):
-            for index, (time, _) in enumerate(loaders):
+            for time, _ in loaders:
                 # Pull with an explicit next() rather than zipping the
                 # volumes in: zip/enumerate cache their last result tuple,
                 # which would pin each step's volume through the whole
@@ -537,41 +553,13 @@ class FeatureTracker:
                 with metrics.span("track.stream_step", time=int(time)):
                     criterion = np.asarray(crit_fn(volume), dtype=bool)
                     del volume  # only the criterion stays resident
-                    if shape is None:
-                        shape = criterion.shape
-                    seed_mask = np.zeros(shape, dtype=bool)
-                    for point in seeds_by_step.get(index, ()):
-                        seed_mask[point] = True
-                    if prev is not None:
-                        seed_mask |= self._cross_step_seeds(prev)
-                        if predict_seeds and prev_centroid is not None and prev.any():
-                            seed_mask |= self._shift_mask(prev, np.rint(velocity))
-                    seed_mask &= criterion
-                    grown = (self._grow_step(criterion, seed_mask)
-                             if seed_mask.any() else np.zeros(shape, dtype=bool))
-                    if predict_seeds and grown.any():
-                        centroid = np.mean(np.nonzero(grown), axis=1)
-                        if prev_centroid is not None:
-                            velocity = centroid - prev_centroid
-                        prev_centroid = centroid
-                    packed_crit.append(_pack_mask(criterion))
-                    packed_mask.append(_pack_mask(grown))
-                    counts.append(int(grown.sum()))
-                    times.append(int(time))
-                    prev = grown
+                    stream.push(time, criterion)
                 metrics.counter("track.stream_steps").inc()
-            prev = None
+            result = stream.finalize(refine=refine)
+            metrics.counter("track.stream_sweeps").inc(result.sweeps)
 
-            sweeps = 1
-            if refine and n_steps > 1:
-                sweeps += self._refine_packed(packed_crit, packed_mask, counts,
-                                              shape, max_sweeps)
-            metrics.counter("track.stream_sweeps").inc(sweeps)
-
-        result = StreamingTrackResult(shape, times, crit_name, packed_mask,
-                                      counts, sweeps)
         if sink is not None:
-            for i, time in enumerate(times):
+            for i, time in enumerate(result.times):
                 sink(time, result.step_mask(i))
         return result
 
@@ -612,3 +600,219 @@ class FeatureTracker:
                 sweeps += 1
                 changed = changed or swept
         return sweeps
+
+class TrackStream:
+    """Open-ended push-mode tracking session (``FeatureTracker.open_stream``).
+
+    An in-situ follower does not have a complete source to pull from —
+    steps arrive whenever the simulation writes them, possibly out of
+    time order, and the total step count is unknown until the run ends.
+    :meth:`push` accepts one step's criterion mask at a time (inserted at
+    its time-sorted position), maintains a live best-effort tracked mask
+    per step, and :meth:`finalize` runs the same forward/backward
+    refinement sweeps as :meth:`FeatureTracker.track_streaming`, so the
+    closed result is voxel-identical to offline
+    :func:`~repro.segmentation.regiongrow.grow_4d` over the stacked
+    criteria in time order.
+
+    Seed binding: explicit seeds address *final* step indices (position
+    in time-sorted order), which a still-running stream can only bind
+    provisionally.  Any out-of-order arrival replays the whole stream
+    from its bit-packed criteria: the insertion shifts seed bindings
+    *and* severs the direct temporal adjacency its neighbours were grown
+    through, and refinement sweeps only add voxels — they cannot retract
+    ones that stop being reachable.  Growth is cheap relative to I/O,
+    replays only happen on out-of-order arrivals, and the invariant
+    "every live mask voxel is 4D-reachable from a correctly-bound seed
+    under the current adjacency" is what makes finalize exact.
+
+    Memory: per step only two bit-packed planes (criterion + mask, one
+    byte per 8 voxels each) are retained, plus the unpacked mask of the
+    newest step for in-order seeding — the same profile as
+    ``track_streaming``.
+    """
+
+    def __init__(self, tracker: FeatureTracker,
+                 seeds_by_step: dict[int, list[tuple]], criterion: str,
+                 predict: bool = False, max_sweeps: int = 64) -> None:
+        self._tracker = tracker
+        self._seeds = {int(k): list(v) for k, v in seeds_by_step.items()}
+        self.criterion = criterion
+        self._predict = bool(predict)
+        self._max_sweeps = int(max_sweeps)
+        self.shape: tuple | None = None
+        self._times: list[int] = []
+        self._packed_crit: list[np.ndarray] = []
+        self._packed_mask: list[np.ndarray] = []
+        self._counts: list[int] = []
+        self._applied: dict[int, int] = {}  # seed step index -> bound time
+        self._tail: np.ndarray | None = None  # unpacked mask, newest step
+        self._prev_centroid: np.ndarray | None = None
+        self._velocity = np.zeros(3)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> list[int]:
+        """Step ids pushed so far, in time order."""
+        return list(self._times)
+
+    def step_mask(self, index: int) -> np.ndarray:
+        """Live tracked mask at time-sorted position ``index`` (unpacked).
+
+        Before :meth:`finalize` this is the monotone lower bound the
+        incremental passes have reached; after finalize it equals the
+        offline fixpoint.
+        """
+        return _unpack_mask(self._packed_mask[index], self.shape)
+
+    def voxel_counts(self) -> list[int]:
+        """Live tracked voxels per step, in time order."""
+        return list(self._counts)
+
+    # ------------------------------------------------------------------ #
+    # Feeding
+    # ------------------------------------------------------------------ #
+    def push(self, time: int, criterion: np.ndarray) -> int:
+        """Insert one step's criterion mask; returns its sorted position.
+
+        In-order arrivals (``time`` newer than everything seen) reduce to
+        the classic forward pass: seed from the previous step's mask
+        (plus any explicit seeds bound here) and grow.  Out-of-order
+        arrivals insert mid-stream and replay the whole stream from the
+        bit-packed criteria: the insertion both shifts seed bindings and
+        severs the direct temporal adjacency its neighbours were grown
+        through, so masks downstream of the insertion point may hold
+        voxels that are no longer 4D-reachable — and refinement sweeps
+        only ever add, never retract.  Pushing an already-present time
+        raises — use :meth:`replace` for re-written steps.
+        """
+        if self._closed:
+            raise RuntimeError("TrackStream is finalized; no more pushes")
+        time = int(time)
+        crit = np.asarray(criterion, dtype=bool)
+        if self.shape is None:
+            self.shape = crit.shape
+        elif crit.shape != self.shape:
+            raise ValueError(
+                f"criterion shape {crit.shape} != stream shape {self.shape}")
+        pos = bisect.bisect_left(self._times, time)
+        if pos < len(self._times) and self._times[pos] == time:
+            raise ValueError(
+                f"step time {time} already pushed; use replace() to rewrite")
+        self._times.insert(pos, time)
+        self._packed_crit.insert(pos, _pack_mask(crit))
+        self._packed_mask.insert(pos, _pack_mask(np.zeros(self.shape, bool)))
+        self._counts.insert(pos, 0)
+        if pos != len(self._times) - 1:
+            self._replay()
+            return pos
+        seed_mask = np.zeros(self.shape, dtype=bool)
+        for point in self._seeds.get(pos, ()):
+            seed_mask[point] = True
+        if pos in self._seeds:
+            self._applied[pos] = time
+        if pos > 0:
+            prev = (self._tail if self._tail is not None
+                    else _unpack_mask(self._packed_mask[pos - 1], self.shape))
+            seed_mask |= self._tracker._cross_step_seeds(prev)
+            if self._predict and self._prev_centroid is not None and prev.any():
+                seed_mask |= self._tracker._shift_mask(
+                    prev, np.rint(self._velocity))
+        seed_mask &= crit
+        grown = (self._tracker._grow_step(crit, seed_mask)
+                 if seed_mask.any() else np.zeros(self.shape, dtype=bool))
+        if self._predict and grown.any():
+            centroid = np.mean(np.nonzero(grown), axis=1)
+            if self._prev_centroid is not None:
+                self._velocity = centroid - self._prev_centroid
+            self._prev_centroid = centroid
+        self._packed_mask[pos] = _pack_mask(grown)
+        self._counts[pos] = int(grown.sum())
+        self._tail = grown
+        return pos
+
+    def replace(self, time: int, criterion: np.ndarray) -> int:
+        """Swap the criterion of an already-pushed step (a re-written
+        volume) and replay the stream to restore the seeding invariant."""
+        if self._closed:
+            raise RuntimeError("TrackStream is finalized; no more pushes")
+        time = int(time)
+        try:
+            idx = self._times.index(time)
+        except ValueError:
+            raise KeyError(f"step time {time} was never pushed") from None
+        crit = np.asarray(criterion, dtype=bool)
+        if crit.shape != self.shape:
+            raise ValueError(
+                f"criterion shape {crit.shape} != stream shape {self.shape}")
+        self._packed_crit[idx] = _pack_mask(crit)
+        self._replay()
+        return idx
+
+    def _replay(self) -> None:
+        """Forward pass over the packed criteria with current bindings."""
+        self._applied = {}
+        self._prev_centroid = None
+        self._velocity = np.zeros(3)
+        prev: np.ndarray | None = None
+        for idx, time in enumerate(self._times):
+            crit = _unpack_mask(self._packed_crit[idx], self.shape)
+            seed_mask = np.zeros(self.shape, dtype=bool)
+            for point in self._seeds.get(idx, ()):
+                seed_mask[point] = True
+            if idx in self._seeds:
+                self._applied[idx] = time
+            if prev is not None:
+                seed_mask |= self._tracker._cross_step_seeds(prev)
+                if self._predict and self._prev_centroid is not None and prev.any():
+                    seed_mask |= self._tracker._shift_mask(
+                        prev, np.rint(self._velocity))
+            seed_mask &= crit
+            grown = (self._tracker._grow_step(crit, seed_mask)
+                     if seed_mask.any() else np.zeros(self.shape, dtype=bool))
+            if self._predict and grown.any():
+                centroid = np.mean(np.nonzero(grown), axis=1)
+                if self._prev_centroid is not None:
+                    self._velocity = centroid - self._prev_centroid
+                self._prev_centroid = centroid
+            self._packed_mask[idx] = _pack_mask(grown)
+            self._counts[idx] = int(grown.sum())
+            prev = grown
+        self._tail = prev
+        get_metrics().counter("track.stream_replays").inc()
+
+    # ------------------------------------------------------------------ #
+    # Closing
+    # ------------------------------------------------------------------ #
+    def finalize(self, refine: bool = True) -> StreamingTrackResult:
+        """Close the stream and reconcile to the offline fixpoint.
+
+        With ``refine`` (default) the backward/forward sweeps of
+        :meth:`FeatureTracker._refine_packed` run until no step changes,
+        at which point the result equals :func:`grow_4d` over the full
+        criteria stack — regardless of the order steps were pushed in.
+        """
+        if self._closed:
+            raise RuntimeError("TrackStream is already finalized")
+        if not self._times:
+            raise ValueError("finalize() before any step was pushed")
+        n_steps = len(self._times)
+        for step in self._seeds:
+            if step >= n_steps:
+                raise IndexError(
+                    f"seed step index {step} out of range for {n_steps} steps")
+        sweeps = 1
+        if refine and n_steps > 1:
+            sweeps += self._tracker._refine_packed(
+                self._packed_crit, self._packed_mask, self._counts,
+                self.shape, self._max_sweeps)
+        self._closed = True
+        self._tail = None
+        return StreamingTrackResult(self.shape, self._times, self.criterion,
+                                    self._packed_mask, self._counts, sweeps)

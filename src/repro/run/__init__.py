@@ -7,18 +7,26 @@ Public surface:
   — input-addressed, integrity-verified artifact persistence;
 - :class:`~repro.run.manifest.RunManifest` — deterministic progress record;
 - :class:`~repro.run.runner.PipelineRunner` — the memoized stage walk
-  behind ``repro run`` / ``repro run --resume``.
+  behind ``repro run`` / ``repro run --resume``;
+- :class:`~repro.run.follow.FollowRunner` / :func:`~repro.run.follow.follow_sequence`
+  — the in-situ online walk behind ``repro run --follow``;
+- :class:`~repro.run.simwriter.SimulatedWriter` — cadence-paced sequence
+  replay (with torn-write fault injection) for exercising follow mode.
 """
 
 from repro.run.config import STAGE_ORDER, ConfigError, RunConfig
+from repro.run.follow import FollowReport, FollowRunner, follow_sequence
 from repro.run.manifest import ManifestError, RunManifest, StageRecord
 from repro.run.runner import PipelineRunner, RunError, RunReport
+from repro.run.simwriter import SimulatedWriter
 from repro.run.store import ArtifactStore, IntegrityError, derive_key
 
 __all__ = [
     "STAGE_ORDER",
     "ArtifactStore",
     "ConfigError",
+    "FollowReport",
+    "FollowRunner",
     "IntegrityError",
     "ManifestError",
     "PipelineRunner",
@@ -26,6 +34,8 @@ __all__ = [
     "RunError",
     "RunManifest",
     "RunReport",
+    "SimulatedWriter",
     "StageRecord",
     "derive_key",
+    "follow_sequence",
 ]

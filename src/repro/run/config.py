@@ -53,6 +53,9 @@ _STAGE_DEFAULTS: dict[str, dict] = {
         "hi": None,
         "opacity": 0.8,
         "iatf": None,     # path to a train-iatf output (kind="iatf")
+        "domain": None,   # explicit TF [lo, hi] domain (default: the full
+                          # sequence's value range; follow mode requires it
+                          # pinned — the range is unknowable mid-simulation)
     },
     "render": {
         "size": 96,
@@ -170,6 +173,15 @@ class RunConfig:
                 raise ConfigError(f"tfs kind must be 'box' or 'iatf', got {kind!r}")
             if kind == "iatf" and not self.tfs["iatf"]:
                 raise ConfigError("tfs kind 'iatf' requires 'iatf': path to a saved IATF")
+            domain = self.tfs["domain"]
+            if domain is not None:
+                if len(domain) != 2 or not all(
+                        isinstance(v, (int, float)) for v in domain):
+                    raise ConfigError(
+                        f"tfs domain must be [lo, hi] numbers, got {domain!r}")
+                if not float(domain[1]) > float(domain[0]):
+                    raise ConfigError(
+                        f"tfs domain requires hi > lo, got {list(domain)}")
         if "render" in self.stages:
             if "tfs" not in self.stages:
                 raise ConfigError("render stage needs the tfs stage in 'stages'")

@@ -264,7 +264,13 @@ class PipelineRunner:
             raise RunError(
                 "crash injection requires workers=1: a SIGKILLed pool worker "
                 "would hang the map instead of killing the run")
-        sequence = load_sequence(config.sequence)
+        # Masks are loaded only when a stage actually reads them
+        # (classify's training examples): volume digests — and therefore
+        # every artifact key — then depend on voxels alone, which is the
+        # same rule the follow-mode loader applies to a still-growing
+        # directory.
+        sequence = load_sequence(config.sequence,
+                                 masks="classify" in config.stages)
         self._vdigests = [volume_digest(vol) for vol in sequence]
         seq_digest = derive_key("sequence", [v.time for v in sequence],
                                 *[np.frombuffer(d.encode(), dtype=np.uint8)
@@ -449,7 +455,7 @@ class PipelineRunner:
                     raise RunError(
                         f"cannot read IATF {tparams['iatf']}: {exc}") from None
                 iatf_dict = json.loads(iatf_text)
-            ctx.update(tparams=tparams, domain=sequence.value_range,
+            ctx.update(tparams=tparams, domain=self._tf_domain(sequence),
                        iatf_text=iatf_text, iatf_dict=iatf_dict)
         if "render" in do:
             rparams = dict(self.config.render)
@@ -489,16 +495,19 @@ class PipelineRunner:
             if "classify" in do:
                 self._execute_single(
                     "classify", label,
-                    self._classify_step_key(ctx["train_key"], i), "array",
+                    self._classify_step_key(ctx["train_key"], self._vdigests[i]),
+                    "array",
                     _task_classify_step, (train_artifact, ctx["cparams"], vol))
             if "tfs" in do:
                 self._execute_single(
                     "tfs", label,
-                    self._tf_step_key(ctx["domain"], ctx["iatf_text"], i), "json",
+                    self._tf_step_key(ctx["domain"], ctx["iatf_text"],
+                                      self._vdigests[i]), "json",
                     _task_tf_step, (ctx["tparams"]["kind"], ctx["tparams"],
                                     ctx["domain"], ctx["iatf_dict"], vol))
             if "render" in do:
-                tf_key = self._tf_step_key(ctx["domain"], ctx["iatf_text"], i)
+                tf_key = self._tf_step_key(ctx["domain"], ctx["iatf_text"],
+                                           self._vdigests[i])
                 tf_dict = self.store.get_json(tf_key)
                 key = self._render_key(ctx, vol, tf_dict)
                 self._execute_single("render", label, key, "array",
@@ -570,11 +579,13 @@ class PipelineRunner:
             label = self._label(vol)
             if "classify" in do:
                 submit("classify", label,
-                       self._classify_step_key(ctx["train_key"], i), "array",
+                       self._classify_step_key(ctx["train_key"], self._vdigests[i]),
+                       "array",
                        _task_classify_step, (train_artifact, ctx["cparams"], vol),
                        classify_futs)
             if "tfs" in do or "render" in do:
-                tf_key = self._tf_step_key(ctx["domain"], ctx["iatf_text"], i)
+                tf_key = self._tf_step_key(ctx["domain"], ctx["iatf_text"],
+                                           self._vdigests[i])
             chain = None
             if "render" in do:
                 def chain(fut, i=i, vol=vol):
@@ -609,6 +620,9 @@ class PipelineRunner:
     def _save_manifest(self) -> None:
         self.manifest.save(self.run_dir / "manifest.json")
 
+    #: counter/timer prefixes exported to stats.json (subclasses extend)
+    _stat_prefixes: tuple[str, ...] = ("run.",)
+
     def _write_stats(self) -> None:
         """Volatile run statistics — deliberately not part of bit-identity."""
         snapshot = self._metrics.snapshot()
@@ -616,9 +630,9 @@ class PipelineRunner:
             "executed": self._executed,
             "skipped": self._skipped,
             "counters": {k: v for k, v in snapshot["counters"].items()
-                         if k.startswith("run.")},
+                         if k.startswith(self._stat_prefixes)},
             "timers": {k: v for k, v in snapshot["timers"].items()
-                       if k.startswith("run.")},
+                       if k.startswith(self._stat_prefixes)},
         }
         atomic_write_text(self.run_dir / "stats.json",
                           json.dumps(stats, sort_keys=True, indent=2) + "\n")
@@ -642,9 +656,12 @@ class PipelineRunner:
         digests = [self._vdigests[sequence.times.index(t)] for t in train_times]
         return derive_key("classify.train", params, train_times, digests)
 
-    def _classify_step_key(self, train_key: str, index: int) -> str:
+    def _classify_step_key(self, train_key: str, digest: str) -> str:
+        # Addressed by the step's own digest (not its sequence position),
+        # so a follower that has seen only part of the sequence derives
+        # the same key the offline walk does.
         return derive_key("classify.step", train_key,
-                          self.config.classify["mode"], self._vdigests[index])
+                          self.config.classify["mode"], digest)
 
     def _stage_classify(self, sequence) -> None:
         params = dict(self.config.classify)
@@ -661,7 +678,8 @@ class PipelineRunner:
         ])
         artifact = self.store.get_json(train_key)
         self._execute_batch("classify", [
-            (self._label(vol), self._classify_step_key(train_key, i), "array",
+            (self._label(vol),
+             self._classify_step_key(train_key, self._vdigests[i]), "array",
              _task_classify_step, (artifact, params, vol))
             for i, vol in enumerate(sequence)
         ])
@@ -670,8 +688,8 @@ class PipelineRunner:
         params = self.config.track
         if params["criterion"] == "classify":
             train_key = self._classify_train_key(sequence)
-            upstream = [self._classify_step_key(train_key, i)
-                        for i in range(len(sequence))]
+            upstream = [self._classify_step_key(train_key, d)
+                        for d in self._vdigests]
             upstream.append(f"threshold={self.config.classify['threshold']!r}")
         else:
             upstream = list(self._vdigests)
@@ -694,8 +712,8 @@ class PipelineRunner:
             threshold = self.config.classify["threshold"]
             train_key = self._classify_train_key(sequence)
             criteria = np.stack([
-                self.store.get_array(self._classify_step_key(train_key, i)) > threshold
-                for i in range(len(sequence))
+                self.store.get_array(self._classify_step_key(train_key, d)) > threshold
+                for d in self._vdigests
             ], axis=0)
         else:
             criteria = np.stack([
@@ -719,16 +737,26 @@ class PipelineRunner:
             self.store.put_array(key, step_mask)
         self._save_manifest()
 
-    def _tf_step_key(self, domain, iatf_text: str | None, index: int) -> str:
+    def _tf_domain(self, sequence) -> tuple[float, float]:
+        """TF domain: the config's pinned ``tfs.domain`` when set, else the
+        sequence's full value range.  Pinning makes TF keys (and bytes)
+        independent of how much of the sequence exists yet — the contract
+        follow mode relies on."""
+        domain = self.config.tfs["domain"]
+        if domain is not None:
+            return (float(domain[0]), float(domain[1]))
+        return sequence.value_range
+
+    def _tf_step_key(self, domain, iatf_text: str | None, digest: str) -> str:
         params = self.config.tfs
         parts = ["tfs", params, list(domain)]
         if params["kind"] == "iatf":
-            parts += [iatf_text, self._vdigests[index]]
+            parts += [iatf_text, digest]
         return derive_key(*parts)
 
     def _stage_tfs(self, sequence) -> None:
         params = dict(self.config.tfs)
-        domain = sequence.value_range
+        domain = self._tf_domain(sequence)
         iatf_text = iatf_dict = None
         if params["kind"] == "iatf":
             try:
@@ -737,7 +765,8 @@ class PipelineRunner:
                 raise RunError(f"cannot read IATF {params['iatf']}: {exc}") from None
             iatf_dict = json.loads(iatf_text)
         self._execute_batch("tfs", [
-            (self._label(vol), self._tf_step_key(domain, iatf_text, i), "json",
+            (self._label(vol),
+             self._tf_step_key(domain, iatf_text, self._vdigests[i]), "json",
              _task_tf_step, (params["kind"], params, domain, iatf_dict, vol))
             for i, vol in enumerate(sequence)
         ])
@@ -749,12 +778,12 @@ class PipelineRunner:
         fast_opts = dict(params["fast_options"])
         sig = ("exact" if params["mode"] == "exact"
                else f"fast:{sorted(fast_opts.items())!r}")
-        domain = sequence.value_range
+        domain = self._tf_domain(sequence)
         iatf_text = (Path(self.config.tfs["iatf"]).read_text()
                      if self.config.tfs["kind"] == "iatf" else None)
         tasks = []
         for i, vol in enumerate(sequence):
-            tf_key = self._tf_step_key(domain, iatf_text, i)
+            tf_key = self._tf_step_key(domain, iatf_text, self._vdigests[i])
             tf_dict = self.store.get_json(tf_key)
             tf = TransferFunction1D.from_dict(tf_dict)
             # The render key *is* the frame digest — the same content key

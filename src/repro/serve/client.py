@@ -162,6 +162,10 @@ class ServeClient:
     def run(self, config: dict, **params) -> dict:
         return self._json("POST", "/v1/run", {"config": config, **params})
 
+    def follow_status(self) -> dict:
+        """Progress snapshots of follow-mode runs under the serve root."""
+        return self._json("GET", "/v1/follow/status")
+
     def frame(self, digest_or_path: str) -> bytes:
         """Fetch one rendered frame's PNG bytes by digest or ``path``."""
         path = (digest_or_path if digest_or_path.startswith("/")

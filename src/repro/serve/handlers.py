@@ -20,6 +20,7 @@ worker pool never respawns.
 
 from __future__ import annotations
 
+import json
 import re
 from collections import OrderedDict
 from pathlib import Path
@@ -156,6 +157,29 @@ class ServeState:
     def sequence_names(self) -> list[str]:
         """Sequences available under the root (saved sequence directories)."""
         return sorted(p.parent.name for p in self.root.glob("*/sequence.json"))
+
+    def follow_statuses(self) -> list[dict]:
+        """Live follow-mode progress snapshots under the serve root.
+
+        Every :class:`~repro.run.follow.FollowRunner` writes a volatile
+        ``follow_status.json`` into its run directory; this scans both
+        direct children of the root and the daemon's own ``runs/`` area.
+        Cheap JSON reads (like ``/healthz``), safe on the event loop; a
+        mid-rewrite or vanished file is simply skipped — the follower
+        rewrites it atomically moments later.
+        """
+        statuses = []
+        candidates = sorted(self.root.glob("*/follow_status.json"))
+        candidates += sorted(self.root.glob("runs/*/follow_status.json"))
+        for path in candidates:
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(payload, dict):
+                payload["run_dir"] = str(path.parent)
+                statuses.append(payload)
+        return statuses
 
     def sequence(self, name: str):
         """Load (once) and return the named stored sequence."""

@@ -130,6 +130,7 @@ class ServeApp:
             self.router.add("POST", f"/v1/{endpoint}",
                             self._make_endpoint(endpoint))
         self.router.add("GET", "/healthz", self._handle_healthz)
+        self.router.add("GET", "/v1/follow/status", self._handle_follow_status)
         self.router.add("GET", "/metrics", self._handle_metrics)
         self.router.add("GET", "/v1/frames/{key}", self._handle_frame)
         self.draining = False
@@ -195,6 +196,12 @@ class ServeApp:
             "active_requests": self._active,
             "frames_resident": self.state.frame_count(),
         })
+
+    async def _handle_follow_status(self, request: _Request,
+                                    _params: dict) -> _Response:
+        follows = self.state.follow_statuses()
+        return _Response.json(200, {"follows": follows,
+                                    "count": len(follows)})
 
     async def _handle_metrics(self, request: _Request, _params: dict) -> _Response:
         return _Response(200, get_metrics().export_text().encode(),

@@ -104,12 +104,18 @@ def save_sequence(sequence: VolumeSequence, directory) -> Path:
     return manifest_path
 
 
-def load_sequence(directory, times=None, mmap: bool = False) -> VolumeSequence:
+def load_sequence(directory, times=None, mmap: bool = False,
+                  masks: bool = True) -> VolumeSequence:
     """Load a sequence directory; ``times`` optionally restricts the steps.
 
     Restricting by ``times`` reads only the requested bricks — the
     out-of-core pattern the IATF workflow relies on (train from a few key
-    frames without loading the whole run).
+    frames without loading the whole run).  ``masks=False`` skips the
+    ground-truth mask bricks on every step (forwarded to
+    :func:`load_volume`): consumers that never classify save the reads,
+    and a volume's content digest then covers voxels alone — which is
+    what lets the follow-mode loader and the offline runner agree on
+    artifact keys without both paying for masks nobody reads.
     """
     directory = Path(directory)
     manifest = json.loads((directory / "sequence.json").read_text())
@@ -122,7 +128,7 @@ def load_sequence(directory, times=None, mmap: bool = False) -> VolumeSequence:
     for stem_name, time in zip(manifest["steps"], manifest["times"]):
         if wanted is not None and int(time) not in wanted:
             continue
-        volumes.append(load_volume(directory / stem_name, mmap=mmap))
+        volumes.append(load_volume(directory / stem_name, mmap=mmap, masks=masks))
     if wanted is not None and len(volumes) != len(wanted):
         have = {v.time for v in volumes}
         raise KeyError(f"missing time steps {sorted(wanted - have)} in {directory}")

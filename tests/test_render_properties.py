@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.render import Camera, render_rgba_volume, render_volume
+from repro.render.raycast import ALPHA_CUTOFF
 from repro.transfer import TransferFunction1D
 
 
@@ -41,13 +42,18 @@ class TestCompositingInvariants:
     @settings(max_examples=10, deadline=None)
     def test_more_opacity_never_less_alpha(self, op):
         """Raising the TF's uniform opacity cannot decrease any pixel's
-        accumulated alpha (front-to-back monotonicity)."""
+        accumulated alpha (front-to-back monotonicity) — below the early
+        ray termination cutoff.  At the cutoff the ordering genuinely
+        inverts: a ray whose per-sample opacity lands just above
+        ALPHA_CUTOFF terminates one sample in, while the half-opacity
+        ray composites past that value before its own termination
+        (hypothesis found op=0.9902 > 0.99)."""
         cam = Camera(width=12, height=12)
         tf_lo = TransferFunction1D((0.0, 1.0)).add_box(0.3, 1.0, op * 0.5)
         tf_hi = TransferFunction1D((0.0, 1.0)).add_box(0.3, 1.0, op)
         a_lo = render_volume(blob(), tf_lo, cam, shading=False).pixels[..., 3]
         a_hi = render_volume(blob(), tf_hi, cam, shading=False).pixels[..., 3]
-        assert np.all(a_hi >= a_lo - 1e-6)
+        assert np.all((a_hi >= a_lo - 1e-6) | (a_hi >= ALPHA_CUTOFF))
 
     def test_empty_rgba_volume_renders_empty(self):
         rgba = np.zeros((8, 8, 8, 4), dtype=np.float32)

@@ -281,7 +281,11 @@ class TestDrain:
                                  retries=5)
             health = client.healthz()
             assert health["status"] == "ok"
-            assert health["pool"]["started"] == 2, "prespawned pool workers"
+            # Prespawn runs concurrently with startup; poll instead of
+            # asserting a race against worker boot under load.
+            assert _wait_until(
+                lambda: client.healthz()["pool"]["started"] == 2), (
+                "prespawned pool workers never came up")
             proc.send_signal(signal.SIGTERM)
             assert proc.wait(timeout=30) == 0
             assert "drained and stopped" in proc.stdout.read()

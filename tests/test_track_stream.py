@@ -1,0 +1,157 @@
+"""Differential battery for the open-ended push-mode tracking stream.
+
+:class:`~repro.core.tracking.TrackStream` is what lets a follower track a
+still-running simulation: criterion masks are pushed one at a time — in
+any arrival order, including mid-stream insertions and re-writes — and
+``finalize`` must reconcile to the *exact* voxels the offline
+:func:`~repro.segmentation.regiongrow.grow_4d` fixpoint produces over
+the complete time-ordered criteria stack.  Every test here is that
+differential: stream under some arrival schedule vs. the eager oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import FeatureTracker
+from repro.segmentation.regiongrow import grow_4d
+
+SHAPE = (6, 7, 8)
+TIMES = [110, 120, 130, 140]
+#: Inside every step's moving blob at step 0 (see :func:`_criteria`).
+SEED = (0, 2, 2, 3)
+
+
+def _criteria(rng_seed: int = 3) -> np.ndarray:
+    """Random clutter plus a solid blob drifting one voxel in y per step."""
+    rng = np.random.default_rng(rng_seed)
+    crit = rng.random((len(TIMES), *SHAPE)) > 0.55
+    for i in range(len(TIMES)):
+        crit[i, 1:4, 1 + i:4 + i, 2:5] = True
+    return crit
+
+
+def _reference(crit: np.ndarray, seed=SEED, connectivity: int = 1) -> np.ndarray:
+    return grow_4d(crit, [seed], connectivity=connectivity)
+
+
+def _stream(connectivity: int = 1, seed=SEED):
+    return FeatureTracker(connectivity=connectivity).open_stream([seed])
+
+
+def _assert_matches(stream, reference: np.ndarray) -> None:
+    assert stream.times == TIMES
+    for index in range(len(TIMES)):
+        np.testing.assert_array_equal(
+            stream.step_mask(index), reference[index],
+            err_msg=f"step index {index} diverged from the grow_4d fixpoint")
+    assert stream.voxel_counts() == [int(reference[i].sum())
+                                     for i in range(len(TIMES))]
+
+
+ORDERS = {
+    "in-order": [0, 1, 2, 3],
+    "reversed": [3, 2, 1, 0],
+    "shuffled": [2, 0, 3, 1],
+    "middle-insert": [0, 3, 1, 2],
+}
+
+
+@pytest.mark.parametrize("order", sorted(ORDERS))
+def test_any_arrival_order_finalizes_to_grow4d(order):
+    crit = _criteria()
+    stream = _stream()
+    for index in ORDERS[order]:
+        stream.push(TIMES[index], crit[index])
+    stream.finalize(refine=True)
+    _assert_matches(stream, _reference(crit))
+
+
+@pytest.mark.parametrize("connectivity", [1, 2])
+def test_connectivity_variants_match(connectivity):
+    crit = _criteria(rng_seed=5)
+    stream = _stream(connectivity=connectivity)
+    for index in [1, 3, 0, 2]:
+        stream.push(TIMES[index], crit[index])
+    stream.finalize(refine=True)
+    _assert_matches(stream, _reference(crit, connectivity=connectivity))
+
+
+def test_seed_rebinding_survives_insertions():
+    """A seed bound to final index 1 must track the step that *ends up*
+    there, not whichever step happened to occupy index 1 first."""
+    crit = _criteria(rng_seed=7)
+    seed = (1, 2, 3, 3)
+    assert crit[1][seed[1:]]
+    stream = _stream(seed=seed)
+    # Time 140 arrives first and provisionally occupies index 0; each
+    # later insertion shifts the binding until 120 lands at index 1.
+    for index in [3, 1, 0, 2]:
+        stream.push(TIMES[index], crit[index])
+    stream.finalize(refine=True)
+    _assert_matches(stream, _reference(crit, seed=seed))
+
+
+def test_in_order_live_masks_are_lower_bound():
+    """Before finalize, the incremental forward growth never exceeds the
+    fixpoint (refinement only adds what backward sweeps reveal)."""
+    crit = _criteria()
+    reference = _reference(crit)
+    stream = _stream()
+    for index in range(len(TIMES)):
+        stream.push(TIMES[index], crit[index])
+        live = stream.step_mask(index)
+        overflow = live & ~reference[index]
+        assert not overflow.any()
+    stream.finalize(refine=True)
+    _assert_matches(stream, reference)
+
+
+def test_duplicate_push_raises_and_points_at_replace():
+    crit = _criteria()
+    stream = _stream()
+    stream.push(TIMES[0], crit[0])
+    with pytest.raises(ValueError, match="replace"):
+        stream.push(TIMES[0], crit[0])
+
+
+def test_replace_reprocesses_rewritten_step():
+    crit = _criteria()
+    rewritten = crit.copy()
+    rewritten[2] = _criteria(rng_seed=11)[2]
+    stream = _stream()
+    for index in range(len(TIMES)):
+        stream.push(TIMES[index], crit[index])
+    stream.replace(TIMES[2], rewritten[2])
+    stream.finalize(refine=True)
+    _assert_matches(stream, _reference(rewritten))
+
+
+def test_replace_unknown_time_raises():
+    stream = _stream()
+    stream.push(TIMES[0], _criteria()[0])
+    with pytest.raises(KeyError):
+        stream.replace(TIMES[1], _criteria()[1])
+
+
+def test_finalize_rejects_out_of_range_seed():
+    crit = _criteria()
+    stream = _stream(seed=(9, 2, 2, 3))
+    for index in range(len(TIMES)):
+        stream.push(TIMES[index], crit[index])
+    with pytest.raises(IndexError, match="out of range"):
+        stream.finalize()
+
+
+def test_finalized_stream_rejects_further_pushes():
+    crit = _criteria()
+    stream = _stream()
+    for index in range(len(TIMES)):
+        stream.push(TIMES[index], crit[index])
+    stream.finalize(refine=True)
+    with pytest.raises(RuntimeError):
+        stream.push(150, crit[0])
+
+
+def test_empty_stream_finalize_raises():
+    with pytest.raises(ValueError, match="before any step"):
+        _stream().finalize()
