@@ -1,0 +1,123 @@
+"""Descriptor extraction + index throughput — the costs of the matching
+fallback, measured.
+
+Two machine-relative ratios, both gated by a committed baseline:
+
+- ``speedup_warm_index``: building a :class:`DescriptorIndex` means
+  labeling every step's criterion and extracting one descriptor per
+  component; warm-loading the persisted index from the artifact store is
+  one JSON read plus one array read.  The ratio is what the
+  content-addressed persistence buys every repeat ``repro match`` over
+  an unchanged run — the contract the CI warm-replay leg asserts
+  functionally and this bench asserts quantitatively.
+- ``speedup_batch_query``: :meth:`DescriptorIndex.scores` answers a
+  query with one GEMV over the row matrix; the naive alternative loops
+  Python-level over rows.  The ratio is why brute-force NN needs no
+  approximate-NN machinery at this scale.
+
+Ungated context numbers ride along: descriptors/second of raw
+extraction and the per-query latency of the vectorized path.
+"""
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.cache.store import ArtifactStore
+from repro.data import make_fast_vortex_sequence
+from repro.features import DescriptorIndex, cached_index, describe_components
+from repro.utils.timing import Timer
+
+SHAPE = (40, 40, 40)
+QUERY_REPEATS = 50
+
+
+def _write_bench(name: str, payload: dict) -> Path:
+    """Drop a ``BENCH_<name>.json`` next to the pytest cwd (CI artifact)."""
+    out = Path(os.environ.get("REPRO_BENCH_DIR", ".")) / f"BENCH_{name}.json"
+    out.write_text(json.dumps(payload, indent=2))
+    return out
+
+
+def _build_index(sequence) -> DescriptorIndex:
+    index = DescriptorIndex()
+    for vol in sequence:
+        crit = (vol.data >= 0.5) & (vol.data <= 1.0)
+        for cand in describe_components(vol.data, crit, min_voxels=8):
+            index.add(cand.descriptor, cand.meta(time=int(vol.time)))
+    return index
+
+
+def _loop_scores(matrix: np.ndarray, query: np.ndarray) -> list[float]:
+    """The un-vectorized strawman: one dot + norm per row."""
+    qn = float(np.linalg.norm(query))
+    return [float(np.dot(row, query) / (np.linalg.norm(row) * qn))
+            for row in matrix]
+
+
+def test_descriptor_throughput(benchmark):
+    sequence = make_fast_vortex_sequence(shape=SHAPE, seed=47)
+
+    # -- cold build-and-persist vs warm load --------------------------- #
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(Path(tmp))
+        with Timer() as t_cold:
+            index, hit = cached_index(store, "bench", lambda: _build_index(sequence))
+        assert not hit
+        warm_times = []
+        for _ in range(3):
+            with Timer() as t_warm:
+                warm, hit = cached_index(store, "bench",
+                                         lambda: _build_index(sequence))
+            assert hit
+            warm_times.append(t_warm.elapsed)
+        assert len(warm) == len(index)
+    speedup_warm = t_cold.elapsed / min(warm_times)
+
+    benchmark.pedantic(lambda: _build_index(sequence), rounds=1, iterations=1)
+
+    # -- vectorized GEMV query vs Python row loop ---------------------- #
+    matrix = index.matrix
+    queries = [matrix[i] for i in range(min(8, len(index)))]
+    with Timer() as t_loop:
+        for _ in range(QUERY_REPEATS):
+            for q in queries:
+                _loop_scores(matrix, q)
+    with Timer() as t_gemv:
+        for _ in range(QUERY_REPEATS):
+            for q in queries:
+                index.scores(q)
+    speedup_batch = t_loop.elapsed / t_gemv.elapsed
+    # Sanity: the two paths agree on what they score.
+    assert np.allclose(_loop_scores(matrix, queries[0]),
+                       index.scores(queries[0]), atol=1e-5)
+
+    n_queries = QUERY_REPEATS * len(queries)
+    per_query_us = t_gemv.elapsed / n_queries * 1e6
+    desc_per_s = len(index) / t_cold.elapsed
+
+    print(f"\nindex: {len(index)} descriptors over {len(sequence)} steps "
+          f"({np.prod(SHAPE):,} voxels/step)")
+    print(f"cold build+persist {t_cold.elapsed:.3f}s "
+          f"({desc_per_s:.1f} descriptors/s), warm load "
+          f"{min(warm_times) * 1e3:.2f}ms, {speedup_warm:.1f}x")
+    print(f"query: GEMV {per_query_us:.1f}us/query vs row loop, "
+          f"{speedup_batch:.2f}x over {n_queries} queries")
+    benchmark.extra_info["speedup_warm_index"] = round(speedup_warm, 3)
+    benchmark.extra_info["speedup_batch_query"] = round(speedup_batch, 3)
+    _write_bench("descriptor", {
+        "rows": len(index),
+        "steps": len(sequence),
+        "cold_build_s": round(t_cold.elapsed, 4),
+        "warm_load_s": round(min(warm_times), 5),
+        "descriptors_per_s": round(desc_per_s, 1),
+        "query_us": round(per_query_us, 2),
+        "speedup_warm_index": round(speedup_warm, 3),
+        "speedup_batch_query": round(speedup_batch, 3),
+    })
+
+    assert speedup_warm >= 3.0
+    assert speedup_batch >= 1.5

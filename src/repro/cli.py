@@ -45,8 +45,17 @@ from repro.data import (
     make_argon_sequence,
     make_combustion_sequence,
     make_cosmology_sequence,
+    make_fast_vortex_sequence,
     make_swirl_sequence,
     make_vortex_sequence,
+)
+from repro.features import (
+    DescriptorConfig,
+    DescriptorIndex,
+    DescriptorMatcher,
+    cached_index,
+    describe_components,
+    feature_descriptor,
 )
 from repro.metrics import feature_retention
 from repro.parallel.pool import WorkerPool
@@ -79,6 +88,7 @@ _GENERATORS = {
     "combustion": make_combustion_sequence,
     "cosmology": make_cosmology_sequence,
     "vortex": make_vortex_sequence,
+    "fast-vortex": make_fast_vortex_sequence,
     "swirl": make_swirl_sequence,
 }
 
@@ -284,11 +294,17 @@ def cmd_track(args) -> int:
     grows via brick-decomposed labeling, optionally fanned across
     ``--workers`` processes with ``--bricks``-sized bricks.
     """
+    matcher = None
+    if args.match is not None:
+        matcher = DescriptorMatcher(threshold=args.match,
+                                    max_gap=args.match_gap,
+                                    max_displacement=args.match_displacement)
     tracker = FeatureTracker(
         opacity_threshold=args.opacity_threshold,
         engine=args.engine,
         brick_shape=tuple(args.bricks) if args.bricks else None,
         workers=args.workers if args.workers > 1 else None,
+        matcher=matcher,
     )
     seed = tuple(args.seed_voxel)
     iatf = None
@@ -326,6 +342,70 @@ def cmd_track(args) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         np.save(out, result.masks)
         print(f"tracked masks saved to {out}")
+    return 0
+
+
+def cmd_match(args) -> int:
+    """Find features similar to a query feature across a whole run.
+
+    Builds (or warm-loads) a :class:`DescriptorIndex` over every
+    connected component of the per-step criterion masks, persisted
+    through the artifact store under a content-addressed key — rerunning
+    over an unchanged sequence hits the stored index instead of
+    re-extracting descriptors (``track.match.index.hits``), while any
+    voxel change rebuilds it.
+    """
+    from repro.cache.store import ArtifactStore, derive_key
+    from repro.core.pipeline import volume_digest
+    from repro.segmentation.components import label_components
+
+    sequence = load_sequence(args.seqdir)
+    lo, hi = args.range
+    if hi <= lo:
+        raise SystemExit(f"--range requires HI > LO, got ({lo}, {hi})")
+    config = DescriptorConfig()
+    store = ArtifactStore(args.store or Path(args.seqdir) / ".descriptor_index",
+                          counter_prefix="match.store")
+    key = derive_key(
+        "descriptor-index", config.to_dict(),
+        {"metric": args.metric, "lo": lo, "hi": hi,
+         "min_voxels": args.min_voxels},
+        *[volume_digest(vol) for vol in sequence])
+
+    def build() -> DescriptorIndex:
+        index = DescriptorIndex(metric=args.metric)
+        for vol in sequence:
+            crit = (vol.data >= lo) & (vol.data <= hi)
+            for cand in describe_components(vol.data, crit, config=config,
+                                            min_voxels=args.min_voxels):
+                index.add(cand.descriptor, cand.meta(time=int(vol.time)))
+        return index
+
+    index, hit = cached_index(store, key, build)
+    print(f"index: {len(index)} feature descriptors over {len(sequence)} "
+          f"steps ({'warm from store' if hit else 'built and persisted'})")
+    if args.query:
+        time, z, y, x = args.query
+        vol = sequence.at_time(time)
+        crit = (vol.data >= lo) & (vol.data <= hi)
+        labels, _ = label_components(crit)
+        label = int(labels[z, y, x])
+        if label == 0:
+            raise SystemExit(
+                f"query voxel ({z}, {y}, {x}) at step {time} is outside the "
+                f"criterion band [{lo}, {hi}]")
+        query = feature_descriptor(vol.data, labels == label, config=config)
+        print(f"query: step {time} component {label} "
+              f"({int((labels == label).sum())} voxels)")
+        print(f"{'score':>8} {'step':>6} {'component':>10} {'voxels':>8} centroid")
+        for score, meta in index.query(query, k=args.k):
+            cz, cy, cx = meta["centroid"]
+            print(f"{score:>8.4f} {meta['time']:>6} {meta['label']:>10} "
+                  f"{meta['voxels']:>8} ({cz:.1f}, {cy:.1f}, {cx:.1f})")
+    counters = get_metrics().counter_values("track.match.")
+    if counters:
+        print("counters: " + "  ".join(f"{k}={v}"
+                                       for k, v in sorted(counters.items())))
     return 0
 
 
@@ -560,8 +640,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="spatial brick interior for --engine bricked")
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="process-parallel per-brick labeling (bricked engine)")
+    p.add_argument("--match", type=float, nargs="?", const=0.7, default=None,
+                   metavar="THRESHOLD",
+                   help="descriptor-matching fallback: when a step's growth "
+                        "finds zero overlap (fast motion, occlusion), match "
+                        "candidate components against the lost feature's "
+                        "descriptor and re-seed from the best one above "
+                        "THRESHOLD cosine similarity (default 0.7); "
+                        "lost/reacquired lineage shows in the events line")
+    p.add_argument("--match-gap", type=_positive_int, default=4,
+                   help="steps a feature may stay lost and still be "
+                        "reacquired by --match")
+    p.add_argument("--match-displacement", type=float, default=None,
+                   metavar="VOXELS",
+                   help="centroid travel allowed per elapsed step before a "
+                        "--match candidate is rejected outright")
     p.add_argument("--out", help="save tracked masks as .npy")
     p.set_defaults(func=cmd_track)
+
+    p = sub.add_parser("match", help="find features similar to a query "
+                                     "feature across a run (persisted "
+                                     "descriptor index)")
+    p.add_argument("seqdir")
+    p.add_argument("--range", type=float, nargs=2, metavar=("LO", "HI"),
+                   required=True,
+                   help="criterion band whose connected components are the "
+                        "indexed features")
+    p.add_argument("--query", type=int, nargs=4,
+                   metavar=("STEP", "Z", "Y", "X"),
+                   help="describe the component containing this voxel "
+                        "(step id) and print its nearest neighbours")
+    p.add_argument("--k", type=_positive_int, default=5,
+                   help="neighbours to print")
+    p.add_argument("--metric", choices=["cosine", "l2"], default="cosine")
+    p.add_argument("--min-voxels", type=_positive_int, default=8,
+                   help="skip components smaller than this")
+    p.add_argument("--store", metavar="DIR",
+                   help="artifact store for the persisted index "
+                        "(default: SEQDIR/.descriptor_index)")
+    p.set_defaults(func=cmd_match)
 
     p = sub.add_parser("serve", help="resident pipeline daemon over stored "
                                      "sequences (classify/track/render/run "

@@ -50,7 +50,12 @@ from scipy import ndimage
 from repro.core.iatf import AdaptiveTransferFunction
 from repro.obs import get_metrics
 from repro.segmentation.components import label_components
-from repro.segmentation.events import TrackEvent, detect_events, track_timeline
+from repro.segmentation.events import (
+    TrackEvent,
+    detect_events,
+    merge_match_events,
+    track_timeline,
+)
 from repro.segmentation.fastgrow import grow_bricked
 from repro.segmentation.regiongrow import _structure, grow_4d
 from repro.volume.grid import VolumeSequence
@@ -74,6 +79,7 @@ class TrackResult:
     times: list[int]
     criterion: str
     _events: list[TrackEvent] | None = field(default=None, repr=False)
+    match_events: list[TrackEvent] = field(default_factory=list, repr=False)
 
     def mask_at(self, time: int) -> np.ndarray:
         """Tracked mask at simulation step id ``time``."""
@@ -88,10 +94,15 @@ class TrackResult:
     @property
     def events(self) -> list[TrackEvent]:
         """Continuation/split/merge/birth/death timeline of the tracked
-        feature (computed lazily from per-step component labelings)."""
+        feature (computed lazily from per-step component labelings), in
+        canonical ``(time, component-id)`` order.  When the tracker's
+        descriptor fallback fired, its ``lost``/``reacquired`` lineage
+        events are folded in, superseding the spurious death/birth the
+        overlap timeline would otherwise report at the gap."""
         if self._events is None:
             labelings = [label_components(m)[0] for m in self.masks]
-            self._events = track_timeline(labelings, times=self.times)
+            self._events = merge_match_events(
+                track_timeline(labelings, times=self.times), self.match_events)
         return self._events
 
     def component_counts(self) -> list[int]:
@@ -122,7 +133,7 @@ class StreamingTrackResult:
 
     def __init__(self, shape, times: list[int], criterion: str,
                  packed_masks: list[np.ndarray], voxel_counts: list[int],
-                 sweeps: int) -> None:
+                 sweeps: int, match_events: list[TrackEvent] | None = None) -> None:
         self.shape = tuple(shape)
         self.times = list(times)
         self.criterion = criterion
@@ -130,6 +141,7 @@ class StreamingTrackResult:
         self._packed = packed_masks
         self._voxel_counts = [int(c) for c in voxel_counts]
         self._events: list[TrackEvent] | None = None
+        self.match_events = list(match_events or [])
 
     def step_mask(self, index: int) -> np.ndarray:
         """Tracked mask at sequence position ``index`` (unpacked copy)."""
@@ -157,7 +169,8 @@ class StreamingTrackResult:
     def events(self) -> list[TrackEvent]:
         """Same continuation/split/merge/birth/death timeline as
         :attr:`TrackResult.events`, computed pairwise so only two steps
-        are ever unpacked at once."""
+        are ever unpacked at once — same canonical ordering, same
+        folding-in of descriptor-matching lineage events."""
         if self._events is None:
             events: list[TrackEvent] = []
             prev_labels = None
@@ -168,7 +181,7 @@ class StreamingTrackResult:
                                                 time_a=self.times[i - 1],
                                                 time_b=time))
                 prev_labels = labels
-            self._events = events
+            self._events = merge_match_events(events, self.match_events)
         return self._events
 
     def component_counts(self) -> list[int]:
@@ -179,7 +192,8 @@ class StreamingTrackResult:
     def to_result(self) -> TrackResult:
         """Materialize into an eager :class:`TrackResult`."""
         return TrackResult(masks=self.masks, times=list(self.times),
-                           criterion=self.criterion)
+                           criterion=self.criterion,
+                           match_events=list(self.match_events))
 
 
 class FeatureTracker:
@@ -203,11 +217,26 @@ class FeatureTracker:
     workers / chunksize:
         Fan per-brick labeling through the task farm when the bricked
         engine is selected (``workers`` > 1 uses the process backend).
+    matcher:
+        Optional :class:`~repro.features.matching.DescriptorMatcher`
+        enabling the descriptor fallback: when cross-step seeding finds
+        zero overlap (fast motion, occlusion), candidate components at
+        the next step are matched against the lost feature's descriptor
+        and the grow is re-seeded from the accepted match, with
+        ``lost``/``reacquired`` lineage events surfacing in the result's
+        ``events``.  The fallback only ever runs on steps where plain
+        growth produced *nothing*, so whenever overlap exists the tracked
+        region is bit-identical to ``matcher=None`` (the default).
+        Tracking with a matcher consumes voxel data alongside each
+        criterion (descriptors are value histograms + moments), so
+        matcher-enabled streaming holds one step's voxels during its
+        push.
     """
 
     def __init__(self, connectivity: int = 1, opacity_threshold: float = 0.05,
                  engine: str = "scipy", brick_shape=None,
-                 workers: int | None = None, chunksize: int = 1) -> None:
+                 workers: int | None = None, chunksize: int = 1,
+                 matcher=None) -> None:
         if not 0.0 <= opacity_threshold < 1.0:
             raise ValueError(
                 f"opacity_threshold must be in [0, 1), got {opacity_threshold}"
@@ -222,6 +251,7 @@ class FeatureTracker:
             raise ValueError(f"brick_shape must be (bz, by, bx), got {brick_shape}")
         self.workers = workers
         self.chunksize = int(chunksize)
+        self.matcher = matcher
 
     @property
     def _farm_backend(self) -> str:
@@ -262,6 +292,8 @@ class FeatureTracker:
             raise ValueError(
                 f"seed must be a (step_index, z, y, x) 4-tuple, got shape {seed.shape}"
             )
+        if self.matcher is not None:
+            return self._track_matched(sequence, criteria, seed, criterion_name)
         if self.engine == "bricked":
             stack = np.asarray(criteria, dtype=bool)
             if stack.ndim != 4:
@@ -277,6 +309,26 @@ class FeatureTracker:
         else:
             grown = grow_4d(criteria, [tuple(seed)], connectivity=self.connectivity)
         return TrackResult(masks=grown, times=list(sequence.times), criterion=criterion_name)
+
+    def _track_matched(self, sequence: VolumeSequence, criteria, seed,
+                       criterion_name: str) -> TrackResult:
+        """Eager tracking with the descriptor fallback enabled.
+
+        Routed through a push-mode :class:`TrackStream` so all three
+        consumption models (eager, pull-streaming, push) share one
+        matching code path; ``finalize(refine=True)`` reconciles to the
+        4D-growth fixpoint, so whenever the fallback never fires the
+        masks equal the plain :meth:`_track` result voxel for voxel.
+        """
+        criteria = np.asarray(criteria, dtype=bool)
+        seeds_by_step = self._normalize_seeds(tuple(seed), criteria.shape[0])
+        stream = TrackStream(self, seeds_by_step, criterion_name)
+        for i, vol in enumerate(sequence):
+            stream.push(int(vol.time), criteria[i], data=vol.data)
+        streaming = stream.finalize(refine=True)
+        return TrackResult(masks=streaming.masks, times=list(sequence.times),
+                           criterion=criterion_name,
+                           match_events=list(streaming.match_events))
 
     def track_fixed(self, sequence: VolumeSequence, seed, lo: float, hi: float) -> TrackResult:
         """Track with the conventional fixed value-range criterion.
@@ -552,8 +604,17 @@ class FeatureTracker:
                 volume = next(volumes)
                 with metrics.span("track.stream_step", time=int(time)):
                     criterion = np.asarray(crit_fn(volume), dtype=bool)
-                    del volume  # only the criterion stays resident
-                    stream.push(time, criterion)
+                    if self.matcher is None:
+                        del volume  # only the criterion stays resident
+                        stream.push(time, criterion)
+                    else:
+                        # Descriptors read voxel values, so the matcher
+                        # path keeps this one step's data live through
+                        # its push (and no longer).
+                        data = volume.data
+                        del volume
+                        stream.push(time, criterion, data=data)
+                        del data
                 metrics.counter("track.stream_steps").inc()
             result = stream.finalize(refine=refine)
             metrics.counter("track.stream_sweeps").inc(result.sweeps)
@@ -650,6 +711,17 @@ class TrackStream:
         self._prev_centroid: np.ndarray | None = None
         self._velocity = np.zeros(3)
         self._closed = False
+        # Descriptor-fallback state (only maintained when the tracker has
+        # a matcher): per-step candidate component descriptors — kept so
+        # out-of-order replays can re-match without the voxel data — plus
+        # the tracked feature's running descriptor thread.
+        self._cands: list[list] = []
+        self._desc: np.ndarray | None = None
+        self._desc_time: int | None = None
+        self._desc_pos: int = -1
+        self._last_centroid: np.ndarray | None = None
+        self._lost_emitted = False
+        self._match_events: list[TrackEvent] = []
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -678,7 +750,7 @@ class TrackStream:
     # ------------------------------------------------------------------ #
     # Feeding
     # ------------------------------------------------------------------ #
-    def push(self, time: int, criterion: np.ndarray) -> int:
+    def push(self, time: int, criterion: np.ndarray, data=None) -> int:
         """Insert one step's criterion mask; returns its sorted position.
 
         In-order arrivals (``time`` newer than everything seen) reduce to
@@ -691,6 +763,11 @@ class TrackStream:
         voxels that are no longer 4D-reachable — and refinement sweeps
         only ever add, never retract.  Pushing an already-present time
         raises — use :meth:`replace` for re-written steps.
+
+        When the tracker has a matcher, ``data`` (the step's voxel
+        values) is required: candidate component descriptors are
+        extracted once here and retained — they are what lets replays and
+        late matches run without the volume ever being loaded again.
         """
         if self._closed:
             raise RuntimeError("TrackStream is finalized; no more pushes")
@@ -701,6 +778,9 @@ class TrackStream:
         elif crit.shape != self.shape:
             raise ValueError(
                 f"criterion shape {crit.shape} != stream shape {self.shape}")
+        labels = cands = None
+        if self._tracker.matcher is not None:
+            labels, cands = self._describe_step(crit, data)
         pos = bisect.bisect_left(self._times, time)
         if pos < len(self._times) and self._times[pos] == time:
             raise ValueError(
@@ -709,6 +789,8 @@ class TrackStream:
         self._packed_crit.insert(pos, _pack_mask(crit))
         self._packed_mask.insert(pos, _pack_mask(np.zeros(self.shape, bool)))
         self._counts.insert(pos, 0)
+        if self._tracker.matcher is not None:
+            self._cands.insert(pos, cands)
         if pos != len(self._times) - 1:
             self._replay()
             return pos
@@ -727,6 +809,8 @@ class TrackStream:
         seed_mask &= crit
         grown = (self._tracker._grow_step(crit, seed_mask)
                  if seed_mask.any() else np.zeros(self.shape, dtype=bool))
+        if self._tracker.matcher is not None:
+            grown = self._apply_match(pos, time, crit, grown, labels)
         if self._predict and grown.any():
             centroid = np.mean(np.nonzero(grown), axis=1)
             if self._prev_centroid is not None:
@@ -737,9 +821,11 @@ class TrackStream:
         self._tail = grown
         return pos
 
-    def replace(self, time: int, criterion: np.ndarray) -> int:
+    def replace(self, time: int, criterion: np.ndarray, data=None) -> int:
         """Swap the criterion of an already-pushed step (a re-written
-        volume) and replay the stream to restore the seeding invariant."""
+        volume) and replay the stream to restore the seeding invariant.
+        With a matcher, ``data`` is required again — the step's candidate
+        descriptors must be rebuilt from the rewritten voxels."""
         if self._closed:
             raise RuntimeError("TrackStream is finalized; no more pushes")
         time = int(time)
@@ -751,15 +837,109 @@ class TrackStream:
         if crit.shape != self.shape:
             raise ValueError(
                 f"criterion shape {crit.shape} != stream shape {self.shape}")
+        if self._tracker.matcher is not None:
+            self._cands[idx] = self._describe_step(crit, data)[1]
         self._packed_crit[idx] = _pack_mask(crit)
         self._replay()
         return idx
+
+    # ------------------------------------------------------------------ #
+    # Descriptor fallback
+    # ------------------------------------------------------------------ #
+    def _describe_step(self, crit: np.ndarray, data):
+        """Label one step's criterion and describe its components."""
+        if data is None:
+            raise ValueError(
+                "tracking with a matcher needs each step's voxel data: "
+                "push(time, criterion, data=volume.data)")
+        connectivity = min(self._tracker.connectivity, crit.ndim)
+        labels, count = label_components(crit, connectivity=connectivity)
+        cands = self._tracker.matcher.candidates(
+            data, crit, connectivity=connectivity, labels=labels, count=count)
+        return labels, cands
+
+    def _apply_match(self, pos: int, time: int, crit: np.ndarray,
+                     grown: np.ndarray, labels=None) -> np.ndarray:
+        """Descriptor fallback + descriptor-thread bookkeeping for one step.
+
+        Fires only when plain growth produced an *empty* step mask while
+        a descriptor thread is live — so whenever spatial overlap exists
+        the returned mask is exactly the ``grown`` that came in, and
+        tracking without fast motion is bit-identical to ``matcher=None``.
+        On a match the step's mask becomes the matched criterion
+        component (complete spatial components are exactly what growth
+        would have produced had a seed landed anywhere inside).
+        """
+        matcher = self._tracker.matcher
+        connectivity = min(self._tracker.connectivity, crit.ndim)
+        if not grown.any() and self._desc is not None:
+            gap = pos - self._desc_pos
+            if 1 <= gap <= matcher.max_gap:
+                metrics = get_metrics()
+                cands = self._cands[pos]
+                with metrics.span("track.match.query", time=int(time),
+                                  gap=int(gap), candidates=len(cands)):
+                    metrics.counter("track.match.attempts").inc()
+                    hit = matcher.best(self._desc, cands,
+                                       last_centroid=self._last_centroid,
+                                       gap=gap)
+                if hit is not None:
+                    if labels is None:
+                        labels = label_components(crit, connectivity=connectivity)[0]
+                    grown = labels == hit[0].label
+                    self._match_events.append(TrackEvent(
+                        "reacquired", self._desc_time, time, (1,), (1,)))
+                    metrics.counter("track.match.reacquired").inc()
+                else:
+                    metrics.counter("track.match.rejected").inc()
+                    if not self._lost_emitted:
+                        self._match_events.append(TrackEvent(
+                            "lost", self._desc_time, time, (1,), ()))
+                        metrics.counter("track.match.lost").inc()
+                        self._lost_emitted = True
+        if grown.any():
+            if labels is None:
+                labels = label_components(crit, connectivity=connectivity)[0]
+            self._update_descriptor(pos, time, grown, labels)
+        return grown
+
+    def _update_descriptor(self, pos: int, time: int, grown: np.ndarray,
+                           labels: np.ndarray) -> None:
+        """Advance the descriptor thread to a step with a nonempty mask.
+
+        The step's tracked mask is a union of complete spatial criterion
+        components (growth fills whole components), so its descriptor is
+        reconstructed as the voxel-weighted average of those components'
+        stored candidate descriptors — no voxel data needed, which is
+        what keeps out-of-order replays exact.
+        """
+        present = {int(p) for p in np.unique(labels[grown]) if p > 0}
+        hits = [c for c in self._cands[pos] if c.label in present]
+        if hits:
+            weights = np.array([c.voxels for c in hits], dtype=np.float64)
+            descs = np.stack([c.descriptor.astype(np.float64) for c in hits])
+            self._desc = (weights[:, None] * descs).sum(axis=0) / weights.sum()
+        # else: the mask only touches components below the matcher's
+        # min_voxels floor — keep the previous descriptor rather than
+        # synthesize one we could not rebuild during a replay.
+        self._last_centroid = np.mean(np.nonzero(grown), axis=1)
+        self._desc_time = time
+        self._desc_pos = pos
+        self._lost_emitted = False
 
     def _replay(self) -> None:
         """Forward pass over the packed criteria with current bindings."""
         self._applied = {}
         self._prev_centroid = None
         self._velocity = np.zeros(3)
+        # The descriptor thread is re-derived from scratch too — stored
+        # per-step candidate descriptors make that possible without data.
+        self._desc = None
+        self._desc_time = None
+        self._desc_pos = -1
+        self._last_centroid = None
+        self._lost_emitted = False
+        self._match_events = []
         prev: np.ndarray | None = None
         for idx, time in enumerate(self._times):
             crit = _unpack_mask(self._packed_crit[idx], self.shape)
@@ -776,6 +956,8 @@ class TrackStream:
             seed_mask &= crit
             grown = (self._tracker._grow_step(crit, seed_mask)
                      if seed_mask.any() else np.zeros(self.shape, dtype=bool))
+            if self._tracker.matcher is not None:
+                grown = self._apply_match(idx, time, crit, grown)
             if self._predict and grown.any():
                 centroid = np.mean(np.nonzero(grown), axis=1)
                 if self._prev_centroid is not None:
@@ -815,4 +997,5 @@ class TrackStream:
         self._closed = True
         self._tail = None
         return StreamingTrackResult(self.shape, self._times, self.criterion,
-                                    self._packed_mask, self._counts, sweeps)
+                                    self._packed_mask, self._counts, sweeps,
+                                    match_events=self._match_events)

@@ -16,12 +16,13 @@ from repro.data.argon import make_argon_sequence
 from repro.data.combustion import make_combustion_sequence
 from repro.data.cosmology import make_cosmology_sequence
 from repro.data.swirl import make_swirl_sequence
-from repro.data.vortex import make_vortex_sequence
+from repro.data.vortex import make_fast_vortex_sequence, make_vortex_sequence
 
 __all__ = [
     "make_argon_sequence",
     "make_combustion_sequence",
     "make_cosmology_sequence",
+    "make_fast_vortex_sequence",
     "make_swirl_sequence",
     "make_vortex_sequence",
 ]

@@ -84,3 +84,73 @@ def make_vortex_sequence(
             Volume(data, time=time, name="vortex", masks={"vortex": tube > 0.5})
         )
     return VolumeSequence(volumes, name="vortex")
+
+
+def make_fast_vortex_sequence(
+    shape=(64, 64, 64),
+    times=tuple(range(8)),
+    seed=47,
+    tube_sigma: float = 0.035,
+    hop: float = 0.11,
+    x0: float = 0.10,
+    occlusion=(4, 5),
+    decoy: bool = True,
+    background: float = 0.3,
+) -> VolumeSequence:
+    """Fast-motion variant that *violates* the temporal-sampling assumption.
+
+    The same Gaussian tube as :func:`make_vortex_sequence`, but hopping
+    ``hop`` normalized x-units per step — more than the tube's full
+    ``2·1.18·tube_sigma`` diameter at the ``> 0.5`` cut, so consecutive
+    ground-truth masks share **zero** voxels and overlap-only tracking
+    necessarily loses the feature at every step.  On top of that, the
+    tube vanishes entirely during the ``occlusion`` window (step
+    *positions*, not ids): the criterion holds nothing of it for those
+    steps, modelling a feature dipping below the extraction threshold.
+
+    ``decoy=True`` plants a static spherical blob inside the same value
+    band: a persistent look-alike candidate that descriptor matching must
+    *reject* while reacquiring the real tube (shape moments and shell
+    histograms separate sphere from tube; a centroid-displacement prior
+    alone would not, since the decoy sits on the tube's path).
+
+    Ground truth rides along per step: ``masks["vortex"]`` is the tube
+    (empty while occluded) and ``masks["decoy"]`` the blob.  Background
+    noise stays below 0.5, so a ``[0.5, 1.0]`` fixed criterion contains
+    exactly tube + decoy and tracked-vs-truth IoU is a clean score.
+
+    The default grid is cubic on purpose: descriptor shape moments live
+    in voxel space, so an anisotropic grid (axes normalized to [0, 1]
+    over different voxel counts) would shear a normalized-space sphere
+    into a voxel-space filament and blur exactly the tube-vs-blob
+    distinction this dataset exists to exercise.
+    """
+    times = list(times)
+    rng = as_generator(seed)
+    grids = fields.coordinate_grids(shape)
+    noise = fields.smooth_noise(shape, seed=rng, sigma=2.0)
+    occluded = {int(i) for i in occlusion}
+    decoy_field = (fields.gaussian_blob(grids, (0.30, 0.20, 0.50), 0.05) * 0.9
+                   if decoy else None)
+    n = len(times)
+
+    volumes = []
+    for i, time in enumerate(times):
+        p = 0.0 if n <= 1 else i / (n - 1)
+        if i in occluded:
+            tube = np.zeros(shape, dtype=np.float32)
+        else:
+            s = np.linspace(0.0, 1.0, 9)
+            line = np.stack([
+                0.2 + 0.6 * s,                       # along z
+                0.5 + 0.04 * p * np.sin(np.pi * s),  # mild bow: deformation
+                np.full(9, x0 + hop * i),            # the per-step jump
+            ], axis=1).astype(np.float32)
+            tube = fields.tube_field(grids, line, tube_sigma)
+        data = np.maximum(tube, background * noise)
+        masks = {"vortex": tube > 0.5}
+        if decoy_field is not None:
+            data = np.maximum(data, decoy_field)
+            masks["decoy"] = decoy_field > 0.5
+        volumes.append(Volume(data, time=time, name="fast-vortex", masks=masks))
+    return VolumeSequence(volumes, name="fast-vortex")

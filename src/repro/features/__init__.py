@@ -1,0 +1,48 @@
+"""Per-feature descriptors and similarity matching.
+
+The paper's tracker (Sec. 5/6) carries identity across timesteps through
+*spatial overlap* alone — sufficient temporal sampling is an assumption,
+not a guarantee, and a fast-moving or briefly-occluded feature silently
+falls out of the tracked region.  This package adds the identity cue the
+robust-tracking literature (FTK; CNN smoke descriptors — PAPERS.md) uses
+instead: a compact per-feature *descriptor* that can be compared across
+arbitrary temporal gaps.
+
+- :mod:`repro.features.descriptor` — descriptor extraction: concentric
+  shell value histograms around the feature centroid, translation- and
+  value-scale-invariant geometric moments, and (optionally) pooled
+  hidden-layer activations of a trained
+  :class:`~repro.core.dataspace.DataSpaceClassifier` MLP — the
+  "precalculated representation" reuse of the classifier the pipeline
+  already trains.
+- :mod:`repro.features.index` — :class:`DescriptorIndex`, a brute-force
+  cosine/L2 nearest-neighbour index over float32 descriptor matrices,
+  persistable through the content-addressed
+  :class:`~repro.cache.store.ArtifactStore` ("find features similar to
+  this one" across a whole run; ``repro match`` on the CLI).
+- :mod:`repro.features.matching` — :class:`DescriptorMatcher`, the
+  tracking fallback: when cross-step seeding finds zero overlap,
+  candidate components at the next step are matched against the lost
+  feature's descriptor (gated by a similarity threshold and a
+  centroid-displacement prior) and the grow is re-seeded
+  (``FeatureTracker(matcher=...)``).
+"""
+
+from repro.features.descriptor import (
+    ComponentDescriptor,
+    DescriptorConfig,
+    describe_components,
+    feature_descriptor,
+)
+from repro.features.index import DescriptorIndex, cached_index
+from repro.features.matching import DescriptorMatcher
+
+__all__ = [
+    "ComponentDescriptor",
+    "DescriptorConfig",
+    "DescriptorIndex",
+    "DescriptorMatcher",
+    "cached_index",
+    "describe_components",
+    "feature_descriptor",
+]

@@ -1,0 +1,280 @@
+"""Compact per-feature descriptors from tracked masks.
+
+A descriptor summarizes one connected feature (a boolean mask over a
+volume) as a short float32 vector whose cosine distance is small for the
+same physical feature at two nearby timesteps and large for unrelated
+features.  Three blocks, each L2-normalized so no block dominates:
+
+1. **Concentric shell value histograms** — mask voxels are binned into
+   ``n_shells`` radial shells around the feature centroid (radii
+   normalized by the feature's own maximum radius) and, within each
+   shell, into ``n_bins`` value bins over the feature's own value range.
+   Normalizing radii and values by the feature's extent/range makes the
+   block invariant to translation and to affine value rescaling (a ±10%
+   calibration drift between steps changes nothing).
+2. **Geometric moments** — translation-invariant central-moment shape
+   statistics: log voxel count, radius of gyration, sorted normalized
+   covariance eigenvalues (the feature's anisotropy signature),
+   sphericity, and normalized value-weighted statistics.
+3. **Pooled MLP hidden activations** (optional) — mean-pooled tanh
+   hidden-layer activations of a trained classifier network over a
+   deterministic subsample of mask voxels.  The trained net embeds each
+   voxel's shell neighbourhood; pooling over the feature gives a learned
+   appearance signature for free (the classifier is already trained for
+   extraction).  Computed with the *time* input pinned to 0 so the same
+   feature at two steps embeds identically; note the block inherits the
+   extractor's position inputs and is therefore only approximately
+   translation-invariant — the geometric blocks carry exact invariance.
+
+The layout is fixed by :class:`DescriptorConfig`; equal configs always
+produce equal-length, comparably-scaled vectors, which is what lets
+descriptors be indexed and compared across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.segmentation.components import label_components
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class DescriptorConfig:
+    """Descriptor layout parameters.
+
+    Attributes
+    ----------
+    n_shells / n_bins:
+        Radial shell count and per-shell value-histogram bins of block 1.
+    sample_cap:
+        Maximum mask voxels fed to the MLP-activation block (evenly
+        strided over the mask's flat indices, so the subsample is
+        deterministic).
+    """
+
+    n_shells: int = 4
+    n_bins: int = 8
+    sample_cap: int = 512
+
+    def __post_init__(self) -> None:
+        if self.n_shells < 1 or self.n_bins < 1:
+            raise ValueError("n_shells and n_bins must be >= 1")
+        if self.sample_cap < 1:
+            raise ValueError(f"sample_cap must be >= 1, got {self.sample_cap}")
+
+    def length(self, classifier=None) -> int:
+        """Descriptor vector length under this config."""
+        n = self.n_shells * self.n_bins + _N_MOMENTS
+        if classifier is not None:
+            n += classifier.net.n_hidden
+        return n
+
+    def to_dict(self) -> dict:
+        return {"n_shells": self.n_shells, "n_bins": self.n_bins,
+                "sample_cap": self.sample_cap}
+
+
+_N_MOMENTS = 9
+
+
+def _l2_normalized(block: np.ndarray) -> np.ndarray:
+    norm = float(np.linalg.norm(block))
+    return block / norm if norm > _EPS else block
+
+
+def _shell_histograms(values: np.ndarray, radii: np.ndarray,
+                      config: DescriptorConfig) -> np.ndarray:
+    """Block 1: joint (shell, value-bin) histogram, mass-normalized."""
+    vmin, vmax = float(values.min()), float(values.max())
+    span = vmax - vmin
+    if span > _EPS:
+        vbins = np.minimum((values - vmin) / span * config.n_bins,
+                           config.n_bins - 1).astype(np.int64)
+    else:
+        vbins = np.zeros(len(values), dtype=np.int64)
+    rmax = float(radii.max())
+    if rmax > _EPS:
+        sbins = np.minimum(radii / rmax * config.n_shells,
+                           config.n_shells - 1).astype(np.int64)
+    else:
+        sbins = np.zeros(len(radii), dtype=np.int64)
+    joint = np.bincount(sbins * config.n_bins + vbins,
+                        minlength=config.n_shells * config.n_bins)
+    hist = (joint.astype(np.float64) / len(values)).reshape(
+        config.n_shells, config.n_bins)
+    # Triangular smoothing along the value axis: a few hundred voxels
+    # spread over n_shells·n_bins cells leave single-bin counts, and
+    # sub-voxel phase differences between steps shuffle mass across bin
+    # edges — smoothing makes the histogram a stable signature of the
+    # value *profile* instead of its quantization.  Applied identically
+    # always, it preserves the translation/value-scale invariances.
+    if config.n_bins >= 3:
+        padded = np.pad(hist, ((0, 0), (1, 1)), mode="edge")
+        hist = (0.25 * padded[:, :-2] + 0.5 * padded[:, 1:-1]
+                + 0.25 * padded[:, 2:])
+    return hist.reshape(-1)
+
+
+def _moment_block(values: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    """Block 2: translation/value-scale-invariant shape statistics.
+
+    Every entry is bounded to roughly [0, 1] *before* the block is
+    L2-normalized — with heterogeneous scales, a cosine over the block
+    would be dominated by whichever entry is numerically largest (the
+    log voxel count), and the anisotropy signature that actually
+    separates a filament from a ball would contribute nothing.
+    """
+    n = len(values)
+    centroid = coords.mean(axis=0)
+    centered = coords - centroid
+    cov = centered.T @ centered / n
+    eigvals = np.sort(np.linalg.eigvalsh(cov))[::-1]
+    eig_sum = float(eigvals.sum())
+    # Westin anisotropy coordinates (sum 1) from the sorted covariance
+    # eigenvalues: (c_l, c_p, c_s) ≈ (1,0,0) for a filament, (0,1,0) for
+    # a sheet, (0,0,1) for a ball.  Far more contrasting under cosine
+    # than the raw eigenvalue fractions — a filament and a ball are
+    # nearly orthogonal here, which is what lets matching reject a
+    # look-alike blob when reacquiring a tube.
+    if eig_sum > _EPS:
+        shape_sig = np.array([
+            (eigvals[0] - eigvals[1]) / eig_sum,
+            2.0 * (eigvals[1] - eigvals[2]) / eig_sum,
+            3.0 * eigvals[2] / eig_sum,
+        ])
+    else:
+        shape_sig = np.zeros(3)
+    rg = float(np.sqrt(max(eig_sum, 0.0)))
+    # Sphericity: equivalent-sphere radius of gyration over the actual one
+    # (1 for a ball, small for filaments/sheets).
+    r_eq = (3.0 * n / (4.0 * np.pi)) ** (1.0 / 3.0)
+    sphericity = float(np.sqrt(3.0 / 5.0) * r_eq / rg) if rg > _EPS else 1.0
+    # Value statistics over the feature's own range: invariant to affine
+    # value rescaling like the histograms.
+    vmin, vmax = float(values.min()), float(values.max())
+    span = vmax - vmin
+    vnorm = (values - vmin) / span if span > _EPS else np.zeros(n)
+    v_mean, v_std = float(vnorm.mean()), float(vnorm.std())
+    # Offset between value-weighted and geometric centroids, in units of
+    # the radius of gyration: where the feature's "mass" sits in its hull.
+    w_sum = float(vnorm.sum())
+    if w_sum > _EPS and rg > _EPS:
+        w_centroid = (vnorm[:, None] * coords).sum(axis=0) / w_sum
+        core_offset = float(np.linalg.norm(w_centroid - centroid) / rg)
+    else:
+        core_offset = 0.0
+    return np.array([
+        np.log1p(n) / 16.0,          # size (voxels), log-compressed
+        np.log1p(rg) / 8.0,          # spatial extent (voxel units)
+        *shape_sig,
+        min(sphericity, 4.0) / 4.0,
+        v_mean,
+        v_std,
+        min(core_offset, 2.0) / 2.0,
+    ], dtype=np.float64)
+
+
+def _pooled_activations(data: np.ndarray, coords: np.ndarray, classifier,
+                        config: DescriptorConfig) -> np.ndarray:
+    """Block 3: mean-pooled hidden activations of the trained MLP."""
+    if len(coords) > config.sample_cap:
+        stride = np.linspace(0, len(coords) - 1, config.sample_cap)
+        coords = coords[np.round(stride).astype(np.int64)]
+    # Time pinned to 0: the descriptor compares one feature across steps,
+    # so a time-varying input would make identical features drift apart.
+    feats = classifier.extractor.features_at(data, coords, time=0.0)
+    net = classifier.net
+    hidden = np.tanh(net._standardize(feats) @ net.w1.T + net.b1)
+    return hidden.mean(axis=0)
+
+
+def feature_descriptor(data, mask, *, config: DescriptorConfig | None = None,
+                       classifier=None) -> np.ndarray:
+    """Descriptor vector for one feature mask over a data volume.
+
+    Parameters
+    ----------
+    data:
+        The step's scalar field (array or :class:`~repro.volume.grid.Volume`).
+    mask:
+        Boolean array over ``data`` selecting the feature's voxels.
+    config:
+        Descriptor layout (defaults to :class:`DescriptorConfig`).
+    classifier:
+        Optional trained :class:`~repro.core.dataspace.DataSpaceClassifier`
+        whose MLP hidden layer contributes the learned-appearance block.
+
+    Returns a float32 vector of ``config.length(classifier)`` entries;
+    each block is L2-normalized, so cosine similarity weighs the blocks
+    equally.
+    """
+    config = config or DescriptorConfig()
+    data = np.asarray(getattr(data, "data", data), dtype=np.float32)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != data.shape:
+        raise ValueError(f"mask shape {mask.shape} != data shape {data.shape}")
+    coords = np.argwhere(mask)
+    if len(coords) == 0:
+        raise ValueError("cannot describe an empty mask")
+    values = data[mask].astype(np.float64)
+    coords = coords.astype(np.float64)
+    radii = np.linalg.norm(coords - coords.mean(axis=0), axis=1)
+    blocks = [
+        _l2_normalized(_shell_histograms(values, radii, config)),
+        _l2_normalized(_moment_block(values, coords)),
+    ]
+    if classifier is not None:
+        blocks.append(_l2_normalized(
+            _pooled_activations(data, np.argwhere(mask), classifier, config)))
+    return np.concatenate(blocks).astype(np.float32)
+
+
+@dataclass(frozen=True)
+class ComponentDescriptor:
+    """One labeled component's descriptor plus the matching metadata."""
+
+    label: int
+    voxels: int
+    centroid: tuple
+    descriptor: np.ndarray
+
+    def meta(self, **extra) -> dict:
+        """JSON-ready metadata record (for :class:`DescriptorIndex`)."""
+        return {"label": int(self.label), "voxels": int(self.voxels),
+                "centroid": [float(c) for c in self.centroid], **extra}
+
+
+def describe_components(data, criterion, *, connectivity: int = 1,
+                        config: DescriptorConfig | None = None,
+                        classifier=None, min_voxels: int = 1,
+                        labels=None, count: int | None = None,
+                        ) -> list[ComponentDescriptor]:
+    """Descriptors for every connected component of a criterion mask.
+
+    ``labels``/``count`` may pass in a precomputed
+    :func:`~repro.segmentation.components.label_components` result; the
+    labeling connectivity must then match ``connectivity``.  Components
+    below ``min_voxels`` are skipped (noise specks are never useful match
+    candidates).  Returned in ascending label order — the canonical
+    candidate order every matching path shares.
+    """
+    data = np.asarray(getattr(data, "data", data), dtype=np.float32)
+    criterion = np.asarray(criterion, dtype=bool)
+    if labels is None:
+        labels, count = label_components(criterion, connectivity=connectivity)
+    out: list[ComponentDescriptor] = []
+    for label in range(1, int(count) + 1):
+        mask = labels == label
+        n = int(mask.sum())
+        if n < min_voxels or n == 0:
+            continue
+        centroid = tuple(float(c) for c in np.argwhere(mask).mean(axis=0))
+        out.append(ComponentDescriptor(
+            label=label, voxels=n, centroid=centroid,
+            descriptor=feature_descriptor(data, mask, config=config,
+                                          classifier=classifier)))
+    return out

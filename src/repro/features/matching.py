@@ -1,0 +1,136 @@
+"""Descriptor matching policy for the tracking fallback.
+
+:class:`DescriptorMatcher` bundles the knobs that decide *whether* a
+candidate component at a later timestep is the same feature the tracker
+just lost: a similarity threshold on descriptor score, a
+centroid-displacement prior (features do not teleport — the plausible
+travel radius scales with the temporal gap), and a cap on how many steps
+a feature may stay lost before the tracker gives up on it.  The matcher
+is deliberately stateless — the tracker owns the lost feature's
+descriptor and last-seen centroid — so one matcher instance can serve
+eager, streaming, and push-mode paths alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.features.descriptor import (
+    ComponentDescriptor,
+    DescriptorConfig,
+    describe_components,
+    feature_descriptor,
+)
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class DescriptorMatcher:
+    """Match-acceptance policy for lost-feature reacquisition.
+
+    Attributes
+    ----------
+    threshold:
+        Minimum cosine similarity (or, for ``metric="l2"``, maximum
+        distance) between the lost feature's descriptor and a candidate.
+        The default 0.7 sits well below same-feature self-similarity
+        (>0.95 on the synthetic suites) and well above unrelated-feature
+        similarity (<0.5) — see docs §18 for the tuning study.
+    max_displacement:
+        Centroid travel allowed per elapsed step; a candidate farther
+        than ``max_displacement * gap`` voxels from the last-seen
+        centroid is never matched.  ``None`` disables the prior.
+    max_gap:
+        How many steps a feature may remain lost and still be
+        reacquired.  Beyond this the tracker stops carrying its
+        descriptor (the feature is considered gone for good).
+    config / classifier:
+        Descriptor layout and optional trained classifier forwarded to
+        :func:`~repro.features.descriptor.feature_descriptor`.
+    metric:
+        ``"cosine"`` (higher is better) or ``"l2"`` (lower is better).
+    min_voxels:
+        Candidate components smaller than this are not considered.
+    """
+
+    threshold: float = 0.7
+    max_displacement: float | None = None
+    max_gap: int = 4
+    config: DescriptorConfig = field(default_factory=DescriptorConfig)
+    classifier: object = None
+    metric: str = "cosine"
+    min_voxels: int = 8
+
+    def __post_init__(self) -> None:
+        if self.metric not in ("cosine", "l2"):
+            raise ValueError(f"unknown metric {self.metric!r}")
+        if self.max_gap < 1:
+            raise ValueError(f"max_gap must be >= 1, got {self.max_gap}")
+        if self.max_displacement is not None and self.max_displacement <= 0:
+            raise ValueError("max_displacement must be positive or None")
+
+    # ------------------------------------------------------------------ #
+    # Descriptor extraction (delegation with this matcher's layout)
+    # ------------------------------------------------------------------ #
+    def describe(self, data, mask) -> np.ndarray:
+        """Descriptor of one feature mask under this matcher's config."""
+        return feature_descriptor(data, mask, config=self.config,
+                                  classifier=self.classifier)
+
+    def candidates(self, data, criterion, *, connectivity: int = 1,
+                   labels=None, count=None) -> list[ComponentDescriptor]:
+        """Descriptors of every criterion component worth matching."""
+        return describe_components(
+            data, criterion, connectivity=connectivity, config=self.config,
+            classifier=self.classifier, min_voxels=self.min_voxels,
+            labels=labels, count=count)
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def score(self, query: np.ndarray, descriptor: np.ndarray) -> float:
+        """Similarity (cosine) or distance (l2) of one candidate."""
+        q = np.asarray(query, dtype=np.float64).reshape(-1)
+        d = np.asarray(descriptor, dtype=np.float64).reshape(-1)
+        if self.metric == "cosine":
+            denom = max(np.linalg.norm(q) * np.linalg.norm(d), _EPS)
+            return float(q @ d / denom)
+        return float(np.linalg.norm(q - d))
+
+    def accepts(self, score: float) -> bool:
+        if self.metric == "cosine":
+            return score >= self.threshold
+        return score <= self.threshold
+
+    def best(self, query: np.ndarray,
+             candidates: list[ComponentDescriptor],
+             last_centroid=None, gap: int = 1,
+             ) -> tuple[ComponentDescriptor, float] | None:
+        """Best acceptable candidate for a lost feature, or None.
+
+        Applies the displacement prior first (cheap, and it prunes
+        look-alike decoys that sit implausibly far away), then picks the
+        best-scoring survivor and applies the threshold.  Ties break on
+        label order — candidates arrive in ascending label order, so the
+        outcome is deterministic.
+        """
+        best_pair: tuple[ComponentDescriptor, float] | None = None
+        limit = (None if self.max_displacement is None or last_centroid is None
+                 else self.max_displacement * max(int(gap), 1))
+        for cand in candidates:
+            if limit is not None:
+                travel = float(np.linalg.norm(
+                    np.asarray(cand.centroid, dtype=np.float64)
+                    - np.asarray(last_centroid, dtype=np.float64)))
+                if travel > limit:
+                    continue
+            s = self.score(query, cand.descriptor)
+            if best_pair is None or (s > best_pair[1] if self.metric == "cosine"
+                                     else s < best_pair[1]):
+                best_pair = (cand, s)
+        if best_pair is not None and self.accepts(best_pair[1]):
+            return best_pair
+        return None

@@ -46,8 +46,14 @@ class TrackEvent:
     """One event between steps ``time_a`` → ``time_b``.
 
     ``kind`` is one of ``"continuation"``, ``"split"``, ``"merge"``,
-    ``"birth"``, ``"death"``.  ``sources`` are feature ids at ``time_a``,
-    ``targets`` at ``time_b`` (empty tuple for birth/death respectively).
+    ``"birth"``, ``"death"`` — plus the two descriptor-matching lineage
+    kinds ``"lost"`` (the tracked feature left the criterion without an
+    acceptable match at the next step) and ``"reacquired"`` (descriptor
+    matching re-identified it after a zero-overlap jump or an occlusion
+    gap; ``time_a`` is the last step the feature was seen, ``time_b`` the
+    step it was matched at).  ``sources`` are feature ids at ``time_a``,
+    ``targets`` at ``time_b`` (empty tuple for birth/death/lost
+    respectively).
     """
 
     kind: str
@@ -55,6 +61,95 @@ class TrackEvent:
     time_b: int
     sources: tuple
     targets: tuple
+
+
+# Canonical within-step-pair ordering: deaths/splits (keyed by source id),
+# then births/merges (keyed by target id), then continuations (source id) —
+# exactly the emission order of :func:`detect_events`, made explicit so
+# eager and streaming timelines cannot drift apart.  Matching lineage
+# events sort after the overlap events of their step pair.
+_EVENT_GROUP = {"death": 0, "split": 0, "birth": 1, "merge": 1,
+                "continuation": 2, "lost": 3, "reacquired": 3}
+
+
+def _event_key(event: TrackEvent) -> tuple:
+    group = _EVENT_GROUP.get(event.kind, 4)
+    if group == 1:
+        primary = event.targets[0] if event.targets else 0
+    else:
+        primary = (event.sources[0] if event.sources
+                   else (event.targets[0] if event.targets else 0))
+    return (event.time_a, event.time_b, group, primary)
+
+
+def canonical_event_order(events) -> list[TrackEvent]:
+    """Sort events into the canonical ``(time, component-id)`` order.
+
+    The key is ``(time_a, time_b, kind-group, primary id)`` with the
+    group ranks of ``_EVENT_GROUP``; on a timeline produced by
+    :func:`detect_events` / :func:`track_timeline` the sort is the
+    identity (the differential test in ``tests/test_descriptors.py`` pins
+    this), so applying it everywhere costs nothing while guaranteeing
+    every result type reports one ordering.
+    """
+    return sorted(events, key=_event_key)
+
+
+def merge_match_events(timeline, match_events) -> list[TrackEvent]:
+    """Fold descriptor-matching lineage events into an overlap timeline.
+
+    The overlap timeline cannot see through a zero-overlap jump or an
+    occlusion gap: it reports the tracked feature's disappearance as a
+    ``death`` and its reappearance as an unrelated ``birth``.  When the
+    tracker's descriptor fallback carried identity across the gap, those
+    two records are wrong — this folds the tracker's ``lost`` /
+    ``reacquired`` events in, dropping the superseded ``death`` (at the
+    step pair where the feature was last seen) and ``birth`` (at the
+    reacquisition step) and inheriting their component ids, so the merged
+    timeline reads as one identity thread.  Events are matched by object
+    identity, not equality (``TrackEvent`` is a value type), and each
+    lineage event supersedes at most one death and one birth.  With no
+    match events this reduces to :func:`canonical_event_order`.
+    """
+    timeline = list(timeline)
+    dropped: set[int] = set()
+    # A `lost` and a later `reacquired` over the same gap share their
+    # time_a, but the overlap timeline holds only ONE death there — keep
+    # its sources around so both lineage events can inherit them.
+    death_sources: dict[int, tuple] = {}
+
+    def _take(kind: str, predicate):
+        for event in timeline:
+            if id(event) in dropped or event.kind != kind:
+                continue
+            if predicate(event):
+                dropped.add(id(event))
+                return event
+        return None
+
+    merged: list[TrackEvent] = []
+    for match in match_events:
+        if match.kind == "lost":
+            death = _take("death", lambda ev: ev.time_a == match.time_a
+                          and ev.time_b == match.time_b)
+            if death is not None:
+                death_sources[death.time_a] = death.sources
+                match = TrackEvent("lost", match.time_a, match.time_b,
+                                   death.sources, ())
+            merged.append(match)
+        elif match.kind == "reacquired":
+            death = _take("death", lambda ev: ev.time_a == match.time_a)
+            birth = _take("birth", lambda ev: ev.time_b == match.time_b)
+            if death is not None:
+                death_sources[death.time_a] = death.sources
+            sources = death_sources.get(match.time_a, match.sources)
+            merged.append(TrackEvent(
+                "reacquired", match.time_a, match.time_b, sources,
+                birth.targets if birth is not None else match.targets))
+        else:
+            merged.append(match)
+    kept = [event for event in timeline if id(event) not in dropped]
+    return canonical_event_order(kept + merged)
 
 
 def detect_events(labels_a, labels_b, time_a: int = 0, time_b: int = 1,

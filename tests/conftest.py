@@ -11,9 +11,22 @@ from repro.data import (
     make_argon_sequence,
     make_combustion_sequence,
     make_cosmology_sequence,
+    make_fast_vortex_sequence,
     make_swirl_sequence,
     make_vortex_sequence,
 )
+
+try:
+    from hypothesis import settings as _hyp_settings
+except ImportError:  # pragma: no cover - hypothesis is a test-only dep
+    pass
+else:
+    # Shared CI profile: the 3.10–3.13 matrix legs run every module under a
+    # fixed timeout-minutes budget, so example counts are capped there
+    # (`pytest --hypothesis-profile=ci`) while local runs keep the default
+    # thoroughness.  Registered here once so every property module shares
+    # one definition instead of sprinkling per-test @settings overrides.
+    _hyp_settings.register_profile("ci", max_examples=25, deadline=None)
 
 
 @pytest.fixture(scope="session")
@@ -34,6 +47,11 @@ def cosmology_small():
 @pytest.fixture(scope="session")
 def vortex_small():
     return make_vortex_sequence(shape=(32, 32, 32), times=list(range(50, 75, 4)), seed=31)
+
+
+@pytest.fixture(scope="session")
+def fast_vortex_small():
+    return make_fast_vortex_sequence(shape=(48, 48, 48), seed=47)
 
 
 @pytest.fixture(scope="session")
